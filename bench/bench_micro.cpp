@@ -1,0 +1,123 @@
+// E7 — substrate microbenchmarks (google-benchmark).
+//
+// Throughput of the kernels everything else is built on: robust orientation
+// predicate (filtered vs forced-exact), convex hull, obstructed-visibility
+// sweep (vs the O(n^3) oracle), smallest enclosing circle, snapshot
+// construction, and one full ASYNC engine run per size.
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "gen/generators.hpp"
+#include "geom/circle.hpp"
+#include "geom/hull.hpp"
+#include "geom/predicates.hpp"
+#include "geom/visibility.hpp"
+#include "model/snapshot.hpp"
+#include "sim/run.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using lumen::geom::Vec2;
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  lumen::util::Prng rng{seed};
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+  }
+  return pts;
+}
+
+void BM_Orient2dFiltered(benchmark::State& state) {
+  const auto pts = random_points(3072, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int s = lumen::geom::orient2d(pts[i], pts[i + 1], pts[i + 2]);
+    benchmark::DoNotOptimize(s);
+    i = (i + 3) % 3069;
+  }
+}
+BENCHMARK(BM_Orient2dFiltered);
+
+void BM_Orient2dExactPath(benchmark::State& state) {
+  // Collinear triples force the exact expansion fallback.
+  const Vec2 a{0.1, 0.2}, b{0.2, 0.4}, c{0.4, 0.8};
+  for (auto _ : state) {
+    const int s = lumen::geom::detail::orient2d_exact_sign(a, b, c);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Orient2dExactPath);
+
+void BM_ConvexHull(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto hull = lumen::geom::convex_hull_indices(pts);
+    benchmark::DoNotOptimize(hull);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexHull)->Range(64, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_VisibilityFast(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto g = lumen::geom::compute_visibility(pts);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VisibilityFast)->Range(32, 512)->Complexity();
+
+void BM_VisibilityNaiveOracle(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto g = lumen::geom::compute_visibility_naive(pts);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VisibilityNaiveOracle)->Range(32, 256)->Complexity();
+
+void BM_SmallestEnclosingCircle(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto c = lumen::geom::smallest_enclosing_circle(pts);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SmallestEnclosingCircle)->Range(64, 4096);
+
+void BM_BuildSnapshot(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 5);
+  const std::vector<lumen::model::Light> lights(pts.size(),
+                                                lumen::model::Light::kOff);
+  lumen::util::Prng rng{6};
+  const auto frame = lumen::model::LocalFrame::random(pts[0], rng);
+  for (auto _ : state) {
+    auto snap = lumen::model::build_snapshot(pts, lights, 0, frame);
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_BuildSnapshot)->Range(32, 1024);
+
+void BM_FullAsyncRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto algo = lumen::core::make_algorithm("async-log");
+  const auto initial =
+      lumen::gen::generate(lumen::gen::ConfigFamily::kUniformDisk, n, 7);
+  for (auto _ : state) {
+    lumen::sim::RunConfig config;
+    config.seed = 7;
+    auto run = lumen::sim::run_simulation(*algo, initial, config);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullAsyncRun)->RangeMultiplier(2)->Range(16, 64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

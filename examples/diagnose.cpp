@@ -1,0 +1,93 @@
+// diagnose: post-mortem of a single execution.
+//
+// Runs one configuration, then rebuilds every robot's view of the FINAL
+// configuration (identity frame) and reports what the algorithm would do
+// next — the tool for investigating liveness issues in rule changes.
+#include "core/beacon.hpp"
+#include "core/registry.hpp"
+#include "core/view.hpp"
+#include "gen/generators.hpp"
+#include "geom/hull.hpp"
+#include "model/snapshot.hpp"
+#include "sim/run.hpp"
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+using namespace lumen;
+
+namespace {
+
+const char* role_name(core::Role r) {
+  switch (r) {
+    case core::Role::kAlone: return "alone";
+    case core::Role::kCorner: return "corner";
+    case core::Role::kSide: return "side";
+    case core::Role::kInterior: return "interior";
+    case core::Role::kLine: return "line";
+    case core::Role::kLineEnd: return "line-end";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.flag("n", "number of robots", "64")
+      .flag("seed", "random seed", "3")
+      .flag("family", "configuration family", "uniform-disk")
+      .flag("algo", "algorithm", "async-log")
+      .flag("cap", "max cycles per robot", "4096");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", cli.error().c_str());
+    return 2;
+  }
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  gen::ConfigFamily family = gen::ConfigFamily::kUniformDisk;
+  for (const auto f : gen::all_families()) {
+    if (gen::to_string(f) == cli.get("family")) family = f;
+  }
+
+  const auto initial = gen::generate(family, n, seed);
+  const auto algorithm = core::make_algorithm(cli.get("algo"));
+  sim::RunConfig config;
+  config.seed = seed;
+  config.max_cycles_per_robot = static_cast<std::size_t>(cli.get_int("cap"));
+  const auto run = sim::run_simulation(*algorithm, initial, config);
+
+  std::printf("converged=%d epochs=%zu cycles=%zu moves=%zu\n", run.converged,
+              run.epochs, run.total_cycles, run.total_moves);
+
+  // Census over the final configuration: role / light / what the algorithm
+  // would decide next (identity frame — decisions are frame-invariant).
+  std::map<std::string, std::size_t> census;
+  for (std::size_t i = 0; i < n; ++i) {
+    model::LocalFrame frame{run.final_positions[i], 0.0, 1.0, false};
+    const auto snap =
+        model::build_snapshot(run.final_positions, run.final_lights, i, frame);
+    const auto view = core::build_view(snap);
+    const auto action = algorithm->compute(snap);
+    std::string key = role_name(view.role);
+    key += "/";
+    key += to_string(run.final_lights[i]);
+    key += "/next:";
+    key += to_string(action.light);
+    key += action.moves() ? "+move" : "";
+    if (view.role == core::Role::kInterior) {
+      const auto plans = core::plan_exits(view, view.self());
+      key += plans.empty() ? "/no-perp-plan" : "/plans:" + std::to_string(plans.size());
+    }
+    ++census[key];
+  }
+  for (const auto& [key, count] : census) {
+    std::printf("%6zu  %s\n", count, key.c_str());
+  }
+
+  const auto hull = geom::convex_hull_indices(run.final_positions);
+  std::printf("global hull corners: %zu of %zu\n", hull.size(), n);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "analysis/campaign.hpp"
+
+#include "core/registry.hpp"
+#include "sim/monitors.hpp"
+
+#include <algorithm>
+
+namespace lumen::analysis {
+
+std::size_t CampaignResult::converged_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunMetrics& m) { return m.converged; }));
+}
+
+std::size_t CampaignResult::visibility_ok_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunMetrics& m) { return m.visibility_ok; }));
+}
+
+std::size_t CampaignResult::collision_free_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunMetrics& m) { return m.collision_free; }));
+}
+
+std::size_t CampaignResult::max_colors() const noexcept {
+  std::size_t best = 0;
+  for (const auto& m : runs) best = std::max(best, m.colors);
+  return best;
+}
+
+util::Summary CampaignResult::epochs() const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& m : runs) {
+    if (m.converged) xs.push_back(static_cast<double>(m.epochs));
+  }
+  return util::summarize(xs);
+}
+
+util::Summary CampaignResult::moves() const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& m : runs) {
+    if (m.converged) xs.push_back(static_cast<double>(m.moves));
+  }
+  return util::summarize(xs);
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
+  CampaignResult result;
+  result.spec = spec;
+  result.runs.resize(spec.runs);
+  const auto algorithm = core::make_algorithm(spec.algorithm);
+  util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
+
+  workers.parallel_for(spec.runs, [&](std::size_t i) {
+    const std::uint64_t seed = spec.seed_base + i;
+    const auto initial =
+        gen::generate(spec.family, spec.n, seed, spec.min_separation);
+    sim::RunConfig config = spec.run;
+    config.seed = seed;
+    const auto run = sim::run_simulation(*algorithm, initial, config);
+
+    RunMetrics m;
+    m.seed = seed;
+    m.converged = run.converged;
+    m.epochs = run.epochs;
+    m.cycles = run.total_cycles;
+    m.moves = run.total_moves;
+    m.distance = run.total_distance;
+    m.colors = run.distinct_lights_used();
+    m.visibility_ok =
+        sim::verify_complete_visibility(run.final_positions).complete();
+    if (spec.audit_collisions) {
+      const auto report =
+          sim::check_collisions(run.initial_positions, run.moves, run.final_time,
+                                spec.collision_tolerance);
+      m.collision_free = report.hazard_free(1e-9);
+      m.min_observed_separation = report.min_separation;
+      m.path_crossings = report.path_crossings;
+      m.position_collisions = report.position_collisions;
+    }
+    result.runs[i] = m;
+  });
+  return result;
+}
+
+std::vector<SweepPoint> sweep_n(CampaignSpec spec, const std::vector<std::size_t>& ns,
+                                util::ThreadPool* pool) {
+  std::vector<SweepPoint> points;
+  points.reserve(ns.size());
+  for (const std::size_t n : ns) {
+    spec.n = n;
+    points.push_back(SweepPoint{n, run_campaign(spec, pool)});
+  }
+  return points;
+}
+
+}  // namespace lumen::analysis

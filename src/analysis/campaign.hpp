@@ -1,0 +1,81 @@
+// lumen_analysis: campaigns — many independent runs, reduced to the rows the
+// benches print.
+//
+// A campaign fixes (algorithm, scheduler, adversary, family, N) and sweeps
+// seeds; runs execute in parallel on the shared thread pool (each run is
+// fully deterministic in its own seed, so parallel and serial campaigns
+// produce identical metrics). Verification (complete visibility, collision
+// audit) is part of the per-run metrics so that every table in
+// EXPERIMENTS.md carries its own evidence.
+#pragma once
+
+#include "gen/generators.hpp"
+#include "sim/run.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lumen::analysis {
+
+struct CampaignSpec {
+  std::string algorithm = "async-log";
+  sim::RunConfig run;  ///< Scheduler/adversary template; seed is per-run.
+  gen::ConfigFamily family = gen::ConfigFamily::kUniformDisk;
+  std::size_t n = 32;
+  std::size_t runs = 20;           ///< Number of seeds.
+  std::uint64_t seed_base = 1;     ///< Run i uses seed seed_base + i.
+  double min_separation = 1e-3;
+  bool audit_collisions = true;    ///< O(N^2)-ish post-check; off for big sweeps.
+  double collision_tolerance = 0.0;
+};
+
+struct RunMetrics {
+  std::uint64_t seed = 0;
+  bool converged = false;
+  std::size_t epochs = 0;
+  std::size_t cycles = 0;
+  std::size_t moves = 0;
+  double distance = 0.0;
+  std::size_t colors = 0;
+  bool visibility_ok = false;
+  /// Physical verdict: no coincidence, closest approach above noise
+  /// (CollisionReport::hazard_free). Strict path crossings are counted
+  /// separately in path_crossings.
+  bool collision_free = true;
+  double min_observed_separation = 0.0;
+  std::size_t path_crossings = 0;
+  std::size_t position_collisions = 0;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<RunMetrics> runs;
+
+  [[nodiscard]] std::size_t converged_count() const noexcept;
+  [[nodiscard]] std::size_t visibility_ok_count() const noexcept;
+  [[nodiscard]] std::size_t collision_free_count() const noexcept;
+  [[nodiscard]] std::size_t max_colors() const noexcept;
+  /// Summary over CONVERGED runs' epoch counts.
+  [[nodiscard]] util::Summary epochs() const;
+  [[nodiscard]] util::Summary moves() const;
+};
+
+/// Runs the campaign on the given pool (nullptr -> util::global_pool()).
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          util::ThreadPool* pool = nullptr);
+
+/// Convenience: per-N sweep of the same campaign spec, returning the epoch
+/// means aligned with `ns` (for scaling fits).
+struct SweepPoint {
+  std::size_t n = 0;
+  CampaignResult result;
+};
+
+[[nodiscard]] std::vector<SweepPoint> sweep_n(CampaignSpec spec,
+                                              const std::vector<std::size_t>& ns,
+                                              util::ThreadPool* pool = nullptr);
+
+}  // namespace lumen::analysis

@@ -1,0 +1,211 @@
+#include "core/beacon.hpp"
+
+#include "geom/predicates.hpp"
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <limits>
+
+namespace lumen::core {
+
+using geom::Vec2;
+
+namespace {
+
+/// Signed-area value of triangle (a, b, c) as a plain double — used only for
+/// metric bounds (never for sign decisions, which use orient2d).
+double tri(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// Largest h such that orient(u, v, base + h*n) stays > 0 (the wedge bound
+/// contributed by the hull edge u->v); +inf when unconstrained.
+double wedge_bound(Vec2 u, Vec2 v, Vec2 base, Vec2 n) noexcept {
+  const double a0 = tri(u, v, base);
+  const double slope = tri(u, v, base + n) - a0;
+  if (slope >= 0.0) return std::numeric_limits<double>::infinity();
+  if (a0 <= 0.0) return 0.0;
+  return a0 / -slope;
+}
+
+/// Index into view.hull of the hull position holding pts-index `i`, or npos.
+std::size_t hull_position_of(const LocalView& view, std::size_t i) noexcept {
+  for (std::size_t k = 0; k < view.hull.size(); ++k) {
+    if (view.hull[k] == i) return k;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::optional<Vec2> interior_insertion_target(const LocalView& view,
+                                              const GateEdge& gate) {
+  const Vec2 d = gate.c2 - gate.c1;
+  const double len = geom::norm(d);
+  if (len <= 0.0) return std::nullopt;
+  const Vec2 u = d / len;
+  // CCW hull: interior (and thus the observer) is LEFT of c1->c2; outward is
+  // right. Double-check against the observer and bail out on degeneracy.
+  Vec2 n{u.y, -u.x};
+  const Vec2 self = view.self();
+  if (geom::dot(n, self - gate.c1) > 0.0) n = -n;
+
+  // Strictly monotone squash of the (unclamped) projection into (0, 1):
+  // distinct movers at this edge ALWAYS get distinct columns, even when
+  // their feet fall beyond the edge ends (a hard clamp would collapse them
+  // onto the same target — the identical-target collision). The [0.15,
+  // 0.85] column band keeps targets away from the gate's corners, where the
+  // approach regions of adjacent edges meet.
+  const double t_raw = geom::dot(self - gate.c1, u) / len;
+  const double t = 0.5 + std::atan(2.0 * (t_raw - 0.5)) / std::numbers::pi;
+  const double lambda = 0.15 + 0.7 * t;
+  const Vec2 base = gate.c1 + u * (lambda * len);
+
+  // Wedge constraints from the hull edges adjacent to the gate.
+  double h_wedge = std::numeric_limits<double>::infinity();
+  const std::size_t h = view.hull.size();
+  const std::size_t k1 = hull_position_of(view, gate.i1);
+  const std::size_t k2 = hull_position_of(view, gate.i2);
+  if (k1 != static_cast<std::size_t>(-1) && h >= 3) {
+    const Vec2 c0 = view.pts[view.hull[(k1 + h - 1) % h]];
+    h_wedge = std::min(h_wedge, wedge_bound(c0, gate.c1, base, n));
+  }
+  if (k2 != static_cast<std::size_t>(-1) && h >= 3) {
+    const Vec2 c3 = view.pts[view.hull[(k2 + 1) % h]];
+    // Constraint at c2: orient(p, c2, c3) > 0 == orient(c2, c3, p) > 0.
+    h_wedge = std::min(h_wedge, wedge_bound(gate.c2, c3, base, n));
+  }
+
+  double h_cap = 0.25 * len;
+  if (std::isfinite(h_wedge)) h_cap = std::min(h_cap, 0.45 * h_wedge);
+  if (h_cap <= len * 1e-12) {
+    // Degenerate wedge (numerically flat corner): conservative nudge; the
+    // next cycle re-classifies and continues.
+    h_cap = 0.05 * len;
+  }
+  const double height = h_cap * (0.4 + 0.5 * lambda);
+  return base + n * height;
+}
+
+namespace {
+
+/// Perpendicular-approach target used by plan_exits: the point straight out
+/// from `from`'s own projection onto the gate, at a wedge-bounded height.
+/// nullopt when the projection falls outside the central [0.08, 0.92] band
+/// (approach slabs must stay clear of the gate's corners) or the gate is
+/// degenerate.
+std::optional<Vec2> perpendicular_target(const LocalView& view,
+                                         const GateEdge& gate, Vec2 from,
+                                         Vec2 interior_witness) {
+  const Vec2 d = gate.c2 - gate.c1;
+  const double len = geom::norm(d);
+  if (len <= 0.0) return std::nullopt;
+  const Vec2 u = d / len;
+  Vec2 n{u.y, -u.x};
+  if (geom::dot(n, interior_witness - gate.c1) > 0.0) n = -n;
+
+  const double t_raw = geom::dot(from - gate.c1, u) / len;
+  if (t_raw < 0.08 || t_raw > 0.92) return std::nullopt;
+  const Vec2 base = gate.c1 + u * (t_raw * len);
+
+  double h_wedge = std::numeric_limits<double>::infinity();
+  const std::size_t h = view.hull.size();
+  const std::size_t k1 = hull_position_of(view, gate.i1);
+  const std::size_t k2 = hull_position_of(view, gate.i2);
+  if (k1 != static_cast<std::size_t>(-1) && h >= 3) {
+    const Vec2 c0 = view.pts[view.hull[(k1 + h - 1) % h]];
+    h_wedge = std::min(h_wedge, wedge_bound(c0, gate.c1, base, n));
+  }
+  if (k2 != static_cast<std::size_t>(-1) && h >= 3) {
+    const Vec2 c3 = view.pts[view.hull[(k2 + 1) % h]];
+    h_wedge = std::min(h_wedge, wedge_bound(gate.c2, c3, base, n));
+  }
+  double h_cap = 0.25 * len;
+  if (std::isfinite(h_wedge)) h_cap = std::min(h_cap, 0.45 * h_wedge);
+  if (h_cap <= len * 1e-12) h_cap = 0.05 * len;
+  const double height = h_cap * (0.4 + 0.5 * t_raw);
+  return base + n * height;
+}
+
+}  // namespace
+
+std::vector<ExitPlan> plan_exits(const LocalView& view, Vec2 from) {
+  std::vector<ExitPlan> plans;
+  const std::size_t h = view.hull.size();
+  if (h < 3) return plans;
+  // Interior witness for outward orientation: the hull vertex mean is
+  // strictly inside any convex polygon, and stays valid even when `from`
+  // itself is outside the hull (a mid-flight rival being modelled).
+  Vec2 witness{};
+  for (const std::size_t k : view.hull) witness += view.pts[k];
+  witness = witness / static_cast<double>(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t i1 = view.hull[k];
+    const std::size_t i2 = view.hull[(k + 1) % h];
+    if (i1 == 0 || i2 == 0) continue;  // Own vertex cannot anchor a gate.
+    if (view.lights[i1] != model::Light::kCorner ||
+        view.lights[i2] != model::Light::kCorner) {
+      continue;
+    }
+    const geom::Segment edge{view.pts[i1], view.pts[i2]};
+    GateEdge gate{i1, i2, edge.a, edge.b,
+                  geom::point_segment_distance(edge, from)};
+    const auto target = perpendicular_target(view, gate, from, witness);
+    if (!target) continue;
+    plans.push_back(ExitPlan{gate, *target, geom::distance(from, *target)});
+  }
+  std::sort(plans.begin(), plans.end(), [](const ExitPlan& a, const ExitPlan& b) {
+    return a.gate.distance < b.gate.distance;
+  });
+  return plans;
+}
+
+std::optional<Vec2> side_popout_target(const LocalView& view, const GateEdge& gate) {
+  const Vec2 d = gate.c2 - gate.c1;
+  const double len = geom::norm(d);
+  if (len <= 0.0) return std::nullopt;
+  const Vec2 u = d / len;
+  // Outward = the side of the edge line holding NO visible robot. The view
+  // being 2-D guarantees a strict witness exists.
+  Vec2 n{u.y, -u.x};
+  bool oriented = false;
+  for (std::size_t i = 1; i < view.pts.size() && !oriented; ++i) {
+    const int o = geom::orient2d(gate.c1, gate.c2, view.pts[i]);
+    if (o != 0) {
+      // The witness robot is on the interior side; make n point away from it.
+      if (geom::dot(n, view.pts[i] - gate.c1) > 0.0) n = -n;
+      oriented = true;
+    }
+  }
+  if (!oriented) return std::nullopt;  // Fully collinear view: not a Side role.
+
+  const Vec2 self = view.self();
+  const double d1 = geom::distance(self, gate.c1);
+  const double d2 = geom::distance(self, gate.c2);
+  const double t = std::clamp(d1 / len, 0.0, 1.0);
+  const double height =
+      std::min(0.2 * std::min(d1, d2), 0.1 * len) * (0.6 + 0.3 * t);
+  if (height <= 0.0) return std::nullopt;
+  return self + n * height;
+}
+
+Vec2 line_escape_target(const LocalView& view) {
+  const Vec2 self = view.self();
+  double best_sq = std::numeric_limits<double>::infinity();
+  Vec2 nearest{};
+  for (std::size_t i = 1; i < view.pts.size(); ++i) {
+    const double ds = geom::distance_sq(self, view.pts[i]);
+    if (ds > 0.0 && ds < best_sq) {
+      best_sq = ds;
+      nearest = view.pts[i];
+    }
+  }
+  if (!std::isfinite(best_sq)) return self;
+  const Vec2 dir = geom::normalized(nearest - self);
+  const double dist = std::sqrt(best_sq);
+  return self + geom::perp(dir) * (0.25 * dist);
+}
+
+}  // namespace lumen::core

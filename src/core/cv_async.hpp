@@ -1,0 +1,38 @@
+// lumen_core: the paper's contribution — O(log N)-time Complete Visibility
+// for asynchronous robots with lights, O(1) colors, collision-free.
+//
+// Reconstruction of Sharma, Vaidyanathan, Trahan, Busch, Rai (IPDPS 2017);
+// see DESIGN.md §4 for the rule set and §0 for reconstruction provenance.
+//
+// Shape of the execution: corners of the convex hull announce themselves
+// (kCorner) and never move; side robots pop perpendicular off their hull
+// edge; interior robots exit through the nearest hull edge whose endpoints
+// are Corner-lit ("the gate"), one per gate at a time, using the kTransit
+// light as the beacon handshake. Each stage roughly doubles the number of
+// corners, giving O(log N) epochs; fully collinear views are escaped by a
+// dedicated line rule first.
+#pragma once
+
+#include "model/algorithm.hpp"
+
+namespace lumen::core {
+
+class CompleteVisibilityAsync final : public model::Algorithm {
+ public:
+  /// `transit_guard_factor`: a mover defers while a Transit-lit robot is
+  /// within this multiple of its own intended displacement (the proximity
+  /// guard against path overlap near shared hull corners).
+  explicit CompleteVisibilityAsync(double transit_guard_factor = 4.0) noexcept
+      : guard_factor_(transit_guard_factor) {}
+
+  [[nodiscard]] model::Action compute(const model::Snapshot& snap) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "async-log";
+  }
+  [[nodiscard]] std::span<const model::Light> palette() const noexcept override;
+
+ private:
+  double guard_factor_;
+};
+
+}  // namespace lumen::core

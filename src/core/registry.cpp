@@ -1,0 +1,26 @@
+#include "core/registry.hpp"
+
+#include "core/baseline_sequential.hpp"
+#include "core/cv_async.hpp"
+#include "core/ssync_parallel.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lumen::core {
+
+std::vector<std::string_view> algorithm_names() {
+  return {"async-log", "seq-baseline", "ssync-parallel"};
+}
+
+model::AlgorithmPtr make_algorithm(std::string_view name) {
+  if (name == "async-log") return std::make_shared<CompleteVisibilityAsync>();
+  if (name == "seq-baseline") return std::make_shared<SequentialAsyncBaseline>();
+  if (name == "ssync-parallel") return std::make_shared<SsyncParallel>();
+  std::ostringstream msg;
+  msg << "unknown algorithm '" << name << "'; valid:";
+  for (const auto& n : algorithm_names()) msg << ' ' << n;
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace lumen::core

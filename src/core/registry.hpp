@@ -1,0 +1,23 @@
+// lumen_core: algorithm registry.
+//
+// Benches, tests and examples refer to algorithms by their stable names:
+//   "async-log"      — the paper's O(log N) ASYNC algorithm,
+//   "seq-baseline"   — the O(N) ASYNC translation baseline,
+//   "ssync-parallel" — the semi-synchronous comparator.
+#pragma once
+
+#include "model/algorithm.hpp"
+
+#include <string_view>
+#include <vector>
+
+namespace lumen::core {
+
+/// All registered algorithm names, in presentation order.
+[[nodiscard]] std::vector<std::string_view> algorithm_names();
+
+/// Constructs an algorithm by name; throws std::invalid_argument on unknown
+/// names (lists the valid ones in the message).
+[[nodiscard]] model::AlgorithmPtr make_algorithm(std::string_view name);
+
+}  // namespace lumen::core

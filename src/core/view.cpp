@@ -1,0 +1,192 @@
+#include "core/view.hpp"
+
+#include "geom/hull.hpp"
+#include "geom/predicates.hpp"
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lumen::core {
+
+using geom::Vec2;
+
+std::vector<Vec2> LocalView::hull_points() const {
+  std::vector<Vec2> out;
+  out.reserve(hull.size());
+  for (const std::size_t i : hull) out.push_back(pts[i]);
+  return out;
+}
+
+namespace {
+
+/// Role for a fully collinear view: extreme along the line -> kLineEnd.
+Role line_role(const std::vector<Vec2>& pts) {
+  // Observer is pts[0] at the origin. Find any distinct point to fix the
+  // line direction, then check whether all points lie on one side.
+  Vec2 dir{};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i] != pts[0]) {
+      dir = pts[i] - pts[0];
+      break;
+    }
+  }
+  if (dir == Vec2{}) return Role::kAlone;
+  bool has_positive = false, has_negative = false;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double t = geom::dot(pts[i] - pts[0], dir);
+    if (t > 0.0) has_positive = true;
+    if (t < 0.0) has_negative = true;
+  }
+  return (has_positive && has_negative) ? Role::kLine : Role::kLineEnd;
+}
+
+}  // namespace
+
+LocalView build_view(const model::Snapshot& snap) {
+  LocalView view;
+  view.pts.reserve(snap.visible.size() + 1);
+  view.lights.reserve(snap.visible.size() + 1);
+  view.pts.push_back(model::Snapshot::self_position());
+  view.lights.push_back(snap.self_light);
+  for (const auto& e : snap.visible) {
+    view.pts.push_back(e.position);
+    view.lights.push_back(e.light);
+  }
+  if (view.pts.size() == 1) {
+    view.role = Role::kAlone;
+    return view;
+  }
+  // Tolerant line test: local-frame transforms perturb exactly collinear
+  // world configurations by rounding noise, so the LINE role must be decided
+  // within a relative tolerance (DESIGN.md §3, real-RAM substitution).
+  if (geom::nearly_collinear(view.pts)) {
+    view.role = line_role(view.pts);
+    view.hull = geom::convex_hull_indices(view.pts);
+    return view;
+  }
+  view.hull = geom::convex_hull_indices(view.pts);
+  if (std::find(view.hull.begin(), view.hull.end(), std::size_t{0}) != view.hull.end()) {
+    view.role = Role::kCorner;
+    return view;
+  }
+  const auto hull_pts = view.hull_points();
+  const auto pos = geom::classify_against_hull(hull_pts, view.self());
+  view.role = pos == geom::HullPosition::kEdge ? Role::kSide : Role::kInterior;
+  return view;
+}
+
+std::optional<GateEdge> nearest_hull_edge(const LocalView& view) {
+  const std::size_t h = view.hull.size();
+  if (h < 3) return std::nullopt;
+  GateEdge best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t i1 = view.hull[k];
+    const std::size_t i2 = view.hull[(k + 1) % h];
+    const geom::Segment e{view.pts[i1], view.pts[i2]};
+    const double d = geom::point_segment_distance(e, view.self());
+    if (d < best_dist) {
+      best_dist = d;
+      best = GateEdge{i1, i2, e.a, e.b, d};
+    }
+  }
+  if (!std::isfinite(best_dist)) return std::nullopt;
+  return best;
+}
+
+std::optional<GateEdge> containing_hull_edge(const LocalView& view) {
+  const std::size_t h = view.hull.size();
+  if (h < 2) return std::nullopt;
+  const Vec2 self = view.self();
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t i1 = view.hull[k];
+    const std::size_t i2 = view.hull[(k + 1) % h];
+    if (h == 2 && k == 1) break;  // Degenerate hull has one edge.
+    if (geom::on_segment_open(view.pts[i1], view.pts[i2], self)) {
+      return GateEdge{i1, i2, view.pts[i1], view.pts[i2],
+                      0.0};
+    }
+  }
+  return std::nullopt;
+}
+
+bool gate_blocked_by_closer_robot(const LocalView& view, const GateEdge& gate) {
+  const Vec2 a = view.self();
+  for (std::size_t i = 1; i < view.pts.size(); ++i) {
+    if (i == gate.i1 || i == gate.i2) continue;
+    const Vec2 p = view.pts[i];
+    // Strictly inside triangle (a, c1, c2)? The triangle is oriented
+    // (a, c1, c2) or (a, c2, c1); test both winding signs consistently.
+    const int o1 = geom::orient2d(a, gate.c1, p);
+    const int o2 = geom::orient2d(gate.c1, gate.c2, p);
+    const int o3 = geom::orient2d(gate.c2, a, p);
+    if ((o1 > 0 && o2 > 0 && o3 > 0) || (o1 < 0 && o2 < 0 && o3 < 0)) return true;
+  }
+  return false;
+}
+
+bool gate_is_nearest_edge_for(const LocalView& view, const GateEdge& gate,
+                              geom::Vec2 p) {
+  const geom::Segment edge{gate.c1, gate.c2};
+  const double d_here = geom::point_segment_distance(edge, p);
+  const std::size_t h = view.hull.size();
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t i1 = view.hull[k];
+    const std::size_t i2 = view.hull[(k + 1) % h];
+    if ((i1 == gate.i1 && i2 == gate.i2) || (i1 == gate.i2 && i2 == gate.i1)) continue;
+    const geom::Segment other{view.pts[i1], view.pts[i2]};
+    if (geom::point_segment_distance(other, p) < d_here) return false;
+  }
+  return true;
+}
+
+bool gate_has_transit_traffic(const LocalView& view, const GateEdge& gate) {
+  for (std::size_t i = 1; i < view.pts.size(); ++i) {
+    if (view.lights[i] != model::Light::kTransit) continue;
+    // A Transit robot is relevant when this gate edge is the hull edge
+    // nearest to it (it is inserting here), measured in the observer's view.
+    if (gate_is_nearest_edge_for(view, gate, view.pts[i])) return true;
+  }
+  return false;
+}
+
+std::optional<geom::Segment> estimated_exit_path(const LocalView& view,
+                                                 geom::Vec2 p) {
+  const std::size_t h = view.hull.size();
+  if (h < 3) return std::nullopt;
+  double best_dist = std::numeric_limits<double>::infinity();
+  geom::Segment best_edge{};
+  for (std::size_t k = 0; k < h; ++k) {
+    const geom::Segment e{view.pts[view.hull[k]], view.pts[view.hull[(k + 1) % h]]};
+    const double d = geom::point_segment_distance(e, p);
+    if (d < best_dist) {
+      best_dist = d;
+      best_edge = e;
+    }
+  }
+  if (!std::isfinite(best_dist)) return std::nullopt;
+  const geom::Vec2 foot = geom::closest_point_on_segment(best_edge, p);
+  const geom::Vec2 out = foot - p;
+  const double out_len = geom::norm(out);
+  const double overshoot = 0.15 * best_edge.length();
+  if (out_len <= 0.0) {
+    // p sits on the edge; a popper exits perpendicular by the overshoot.
+    const geom::Vec2 u = geom::normalized(best_edge.b - best_edge.a);
+    return geom::Segment{p, p + geom::perp(u) * overshoot};
+  }
+  return geom::Segment{p, foot + (out / out_len) * overshoot};
+}
+
+bool transit_within(const LocalView& view, double radius) {
+  const double r_sq = radius * radius;
+  for (std::size_t i = 1; i < view.pts.size(); ++i) {
+    if (view.lights[i] == model::Light::kTransit &&
+        geom::distance_sq(view.self(), view.pts[i]) <= r_sq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,102 @@
+// lumen_core: classification of a snapshot into the algorithm's vocabulary.
+//
+// Every rule of the reconstructed algorithm starts from the same geometric
+// digest of the snapshot: the local convex hull, the observer's role against
+// it, and — for non-corners — the candidate gate edge. A key soundness
+// property (tested in tests/core_view_test.cpp) is that the LOCAL
+// classification equals the GLOBAL role despite obstructed visibility:
+//   - a robot is a strict vertex of its visible set's hull  iff  it is a
+//     strict vertex of the global hull;
+//   - it lies on a local hull edge  iff  it lies on a global hull edge;
+//   - local line configurations are exactly the global collinear ones
+//     restricted to what obstruction lets a robot see.
+// (Sketch: if r is strictly inside the global hull, every open half-plane
+// through r contains a robot of the set, and the nearest robot toward it on
+// that ray is visible — so r's visible set surrounds it.)
+#pragma once
+
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+#include "model/light.hpp"
+#include "model/snapshot.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace lumen::core {
+
+enum class Role {
+  kAlone,     ///< Sees nobody.
+  kCorner,    ///< Strict vertex of the local hull.
+  kSide,      ///< Relative interior of a local hull edge.
+  kInterior,  ///< Strictly inside the local hull.
+  kLine,      ///< Entire snapshot collinear, observer not extreme.
+  kLineEnd,   ///< Entire snapshot collinear, observer extreme.
+};
+
+/// The digest all Compute rules share. Index 0 is always the observer
+/// (at the local origin); indices 1.. are the visible robots in snapshot
+/// order.
+struct LocalView {
+  std::vector<geom::Vec2> pts;        ///< Observer first, then visible robots.
+  std::vector<model::Light> lights;   ///< Parallel to pts.
+  std::vector<std::size_t> hull;      ///< CCW strict-vertex indices into pts.
+  Role role = Role::kAlone;
+
+  [[nodiscard]] std::size_t count() const noexcept { return pts.size(); }
+  [[nodiscard]] geom::Vec2 self() const noexcept { return pts.empty() ? geom::Vec2{} : pts[0]; }
+
+  /// Hull vertex positions, CCW.
+  [[nodiscard]] std::vector<geom::Vec2> hull_points() const;
+};
+
+/// Builds the digest from a snapshot.
+[[nodiscard]] LocalView build_view(const model::Snapshot& snap);
+
+/// A gate: a hull edge through which an interior/side robot exits.
+struct GateEdge {
+  std::size_t i1 = 0;  ///< Index (into LocalView::pts) of the first endpoint.
+  std::size_t i2 = 0;  ///< Second endpoint; (i1, i2) is CCW on the hull.
+  geom::Vec2 c1{};
+  geom::Vec2 c2{};
+  double distance = 0.0;  ///< Observer's distance to the closed edge.
+};
+
+/// The hull edge nearest to the observer (its gate candidate).
+/// Empty when the view has no 2-D hull (fewer than 3 hull vertices).
+[[nodiscard]] std::optional<GateEdge> nearest_hull_edge(const LocalView& view);
+
+/// The hull edge whose open relative interior contains the observer — the
+/// Side robot's own edge. Empty when the observer is not a Side robot.
+[[nodiscard]] std::optional<GateEdge> containing_hull_edge(const LocalView& view);
+
+/// True iff any visible robot lies strictly inside triangle
+/// (observer, gate.c1, gate.c2) — someone is closer to the gate, observer
+/// must defer.
+[[nodiscard]] bool gate_blocked_by_closer_robot(const LocalView& view,
+                                                const GateEdge& gate);
+
+/// True iff `gate` is the hull edge of `view` nearest to point `p` — the
+/// "p is working this gate" relation used by the beacon handshake.
+[[nodiscard]] bool gate_is_nearest_edge_for(const LocalView& view,
+                                            const GateEdge& gate, geom::Vec2 p);
+
+/// True iff a visible Transit-lit robot is "at" this gate: its nearest hull
+/// edge is the same edge, or it already lies strictly outside the hull
+/// beyond it. The mover's mutual-exclusion test.
+[[nodiscard]] bool gate_has_transit_traffic(const LocalView& view,
+                                            const GateEdge& gate);
+
+/// True iff any visible Transit-lit robot is within `radius` of the
+/// observer (the proximity guard against adjacent-gate path overlap).
+[[nodiscard]] bool transit_within(const LocalView& view, double radius);
+
+/// Best-effort estimate of the exit path a robot at `p` is about to take:
+/// the segment from p to just outside its nearest hull edge (perpendicular
+/// approach). Used by movers to test their own path against Transit rivals'
+/// presumed paths. Empty when the view has no 2-D hull.
+[[nodiscard]] std::optional<geom::Segment> estimated_exit_path(
+    const LocalView& view, geom::Vec2 p);
+
+}  // namespace lumen::core

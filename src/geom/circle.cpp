@@ -1,0 +1,82 @@
+#include "geom/circle.hpp"
+
+#include "util/prng.hpp"
+
+#include <vector>
+
+namespace lumen::geom {
+
+namespace {
+
+Circle circle_from_two(Vec2 a, Vec2 b) noexcept {
+  return {midpoint(a, b), 0.5 * distance(a, b)};
+}
+
+bool enclosed(const Circle& c, Vec2 p) noexcept {
+  // Relative slack keeps the incremental algorithm stable at large scales.
+  const double slack = 1e-10 * (1.0 + c.radius);
+  return distance(c.center, p) <= c.radius + slack;
+}
+
+/// Exact-ish trivial circles for 0-3 boundary points.
+Circle trivial(std::span<const Vec2> boundary) noexcept {
+  switch (boundary.size()) {
+    case 0: return {};
+    case 1: return {boundary[0], 0.0};
+    case 2: return circle_from_two(boundary[0], boundary[1]);
+    default: {
+      // The minimal circle through <=3 points: try pairs first (the third
+      // may be inside), then the circumcircle.
+      for (int skip = 0; skip < 3; ++skip) {
+        const Vec2 p = boundary[static_cast<std::size_t>((skip + 1) % 3)];
+        const Vec2 q = boundary[static_cast<std::size_t>((skip + 2) % 3)];
+        const Circle c = circle_from_two(p, q);
+        if (enclosed(c, boundary[static_cast<std::size_t>(skip)])) return c;
+      }
+      return circumcircle(boundary[0], boundary[1], boundary[2]);
+    }
+  }
+}
+
+Circle welzl(std::vector<Vec2>& pts, std::size_t n, std::vector<Vec2>& boundary) {
+  if (n == 0 || boundary.size() == 3) return trivial(boundary);
+  const Vec2 p = pts[n - 1];
+  Circle c = welzl(pts, n - 1, boundary);
+  if (enclosed(c, p)) return c;
+  boundary.push_back(p);
+  c = welzl(pts, n - 1, boundary);
+  boundary.pop_back();
+  return c;
+}
+
+}  // namespace
+
+Circle circumcircle(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  if (d == 0.0) {
+    const Vec2 pts[3] = {a, b, c};
+    Vec2 mean{};
+    for (const Vec2 p : pts) mean += p;
+    return {mean / 3.0, 0.0};
+  }
+  const double a2 = norm_sq(a), b2 = norm_sq(b), c2 = norm_sq(c);
+  const Vec2 center{
+      (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+      (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d,
+  };
+  return {center, distance(center, a)};
+}
+
+Circle smallest_enclosing_circle(std::span<const Vec2> pts) {
+  if (pts.empty()) return {};
+  std::vector<Vec2> shuffled(pts.begin(), pts.end());
+  // Fixed seed: deterministic runs; Welzl's expectation argument only needs
+  // the permutation to be unrelated to the input order.
+  util::Prng rng{0x5ec5ec5ec5ecULL};
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  std::vector<Vec2> boundary;
+  boundary.reserve(3);
+  return welzl(shuffled, shuffled.size(), boundary);
+}
+
+}  // namespace lumen::geom

@@ -1,0 +1,37 @@
+// lumen_geom: circles and the smallest enclosing circle (Welzl).
+//
+// The SSYNC comparator algorithm sends robots to a common circle derived
+// from their snapshots; the smallest enclosing circle is the canonical
+// frame-invariant choice (it is preserved by the similarity transforms that
+// relate robot-local frames, up to the same similarity).
+#pragma once
+
+#include "geom/vec2.hpp"
+
+#include <span>
+
+namespace lumen::geom {
+
+struct Circle {
+  Vec2 center{};
+  double radius = 0.0;
+
+  [[nodiscard]] bool contains(Vec2 p, double slack = 1e-9) const noexcept {
+    return distance(center, p) <= radius + slack;
+  }
+  [[nodiscard]] bool on_boundary(Vec2 p, double tol = 1e-9) const noexcept {
+    return std::fabs(distance(center, p) - radius) <= tol;
+  }
+};
+
+/// Circle through three non-collinear points (circumcircle). Radius 0 and
+/// center at the vertex mean when the points are collinear.
+[[nodiscard]] Circle circumcircle(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+/// Smallest enclosing circle of a point set. Welzl's randomized incremental
+/// algorithm, expected O(n); deterministic here because the permutation is
+/// fixed by a seeded shuffle inside (same input -> same intermediate states,
+/// and the result is unique regardless). Empty input -> zero circle.
+[[nodiscard]] Circle smallest_enclosing_circle(std::span<const Vec2> pts);
+
+}  // namespace lumen::geom

@@ -1,0 +1,124 @@
+#include "geom/extremal.hpp"
+
+#include "geom/hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lumen::geom {
+
+namespace {
+
+struct Indexed {
+  Vec2 p;
+  std::size_t idx;
+};
+
+/// Recursive closest-pair over x-sorted points; `by_y` is the same range
+/// kept y-sorted (classic merge-based variant avoiding re-sorting).
+PointPair closest_rec(std::span<Indexed> by_x, std::vector<Indexed>& scratch) {
+  const std::size_t n = by_x.size();
+  if (n <= 3) {
+    PointPair best{0, 0, std::numeric_limits<double>::infinity()};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = distance(by_x[i].p, by_x[j].p);
+        if (d < best.distance) best = {by_x[i].idx, by_x[j].idx, d};
+      }
+    }
+    std::sort(by_x.begin(), by_x.end(),
+              [](const Indexed& a, const Indexed& b) { return a.p.y < b.p.y; });
+    return best;
+  }
+  const std::size_t mid = n / 2;
+  const double split_x = by_x[mid].p.x;
+  PointPair left = closest_rec(by_x.subspan(0, mid), scratch);
+  const PointPair right = closest_rec(by_x.subspan(mid), scratch);
+  PointPair best = left.distance <= right.distance ? left : right;
+
+  // Merge halves by y.
+  scratch.assign(by_x.begin(), by_x.end());
+  std::merge(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+             scratch.begin() + static_cast<std::ptrdiff_t>(mid), scratch.end(),
+             by_x.begin(),
+             [](const Indexed& a, const Indexed& b) { return a.p.y < b.p.y; });
+
+  // Strip pass: points within best.distance of the split line, y-ordered;
+  // each needs comparing to at most the next few strip mates.
+  std::vector<const Indexed*> strip;
+  strip.reserve(n);
+  for (const auto& e : by_x) {
+    if (std::fabs(e.p.x - split_x) < best.distance) strip.push_back(&e);
+  }
+  for (std::size_t i = 0; i < strip.size(); ++i) {
+    for (std::size_t j = i + 1;
+         j < strip.size() && strip[j]->p.y - strip[i]->p.y < best.distance; ++j) {
+      const double d = distance(strip[i]->p, strip[j]->p);
+      if (d < best.distance) best = {strip[i]->idx, strip[j]->idx, d};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PointPair closest_pair(std::span<const Vec2> pts) {
+  if (pts.size() < 2) {
+    throw std::invalid_argument("closest_pair: need at least two points");
+  }
+  std::vector<Indexed> work(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) work[i] = {pts[i], i};
+  std::sort(work.begin(), work.end(), [](const Indexed& a, const Indexed& b) {
+    return a.p.x < b.p.x || (a.p.x == b.p.x && a.p.y < b.p.y);
+  });
+  std::vector<Indexed> scratch;
+  scratch.reserve(work.size());
+  PointPair best = closest_rec(work, scratch);
+  if (best.first > best.second) std::swap(best.first, best.second);
+  return best;
+}
+
+PointPair farthest_pair(std::span<const Vec2> pts) {
+  if (pts.size() < 2) {
+    throw std::invalid_argument("farthest_pair: need at least two points");
+  }
+  const auto hull = convex_hull_indices(pts);
+  if (hull.size() == 1) {
+    // All points coincident.
+    return {hull[0], hull[0], 0.0};
+  }
+  if (hull.size() == 2) {
+    PointPair p{hull[0], hull[1], distance(pts[hull[0]], pts[hull[1]])};
+    if (p.first > p.second) std::swap(p.first, p.second);
+    return p;
+  }
+  // Rotating calipers: advance the antipodal pointer while the triangle
+  // area (distance to the current edge) keeps growing.
+  const std::size_t h = hull.size();
+  const auto at = [&](std::size_t k) { return pts[hull[k % h]]; };
+  PointPair best{0, 0, 0.0};
+  std::size_t j = 1;
+  for (std::size_t i = 0; i < h; ++i) {
+    const Vec2 a = at(i);
+    const Vec2 b = at(i + 1);
+    const auto area2 = [&](std::size_t k) {
+      return std::fabs(cross(b - a, at(k) - a));
+    };
+    while (area2(j + 1) > area2(j)) j = (j + 1) % h;
+    for (const Vec2 q : {a, b}) {
+      const double d = distance(q, at(j));
+      if (d > best.distance) {
+        best = {hull[i % h], hull[j % h], d};
+        if (q == b) best.first = hull[(i + 1) % h];
+      }
+    }
+  }
+  if (best.first > best.second) std::swap(best.first, best.second);
+  return best;
+}
+
+}  // namespace lumen::geom

@@ -1,0 +1,32 @@
+// lumen_geom: extremal pairwise statistics at scale.
+//
+// The O(n^2) pairwise scans in polygon.hpp are fine for snapshots, but the
+// monitors and generators query whole configurations repeatedly; these are
+// the classical O(n log n) kernels: divide-and-conquer closest pair and
+// rotating-calipers diameter (over the convex hull).
+#pragma once
+
+#include "geom/vec2.hpp"
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace lumen::geom {
+
+struct PointPair {
+  std::size_t first = 0;
+  std::size_t second = 0;
+  double distance = 0.0;
+};
+
+/// Closest pair of points, divide & conquer, O(n log n). Requires n >= 2.
+/// Ties are broken arbitrarily but deterministically.
+[[nodiscard]] PointPair closest_pair(std::span<const Vec2> pts);
+
+/// Farthest pair (the diameter), rotating calipers over the convex hull,
+/// O(n log n). Requires n >= 2. Degenerate (all-coincident) sets return
+/// distance 0.
+[[nodiscard]] PointPair farthest_pair(std::span<const Vec2> pts);
+
+}  // namespace lumen::geom

@@ -1,0 +1,130 @@
+#include "geom/hull.hpp"
+
+#include "geom/predicates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lumen::geom {
+
+std::vector<std::size_t> convex_hull_indices(std::span<const Vec2> points) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return points[i] < points[j];
+  });
+  // Drop exact duplicates (keep the first occurrence in sorted order).
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](std::size_t i, std::size_t j) {
+                            return points[i] == points[j];
+                          }),
+              order.end());
+  const std::size_t m = order.size();
+  if (m <= 2) return order;
+
+  // Check for full collinearity: monotone chain would return just the two
+  // extremes anyway, but short-circuiting keeps the degenerate contract
+  // explicit.
+  bool degenerate = true;
+  for (std::size_t i = 2; i < m; ++i) {
+    if (orient2d(points[order[0]], points[order[1]], points[order[i]]) != 0) {
+      degenerate = false;
+      break;
+    }
+  }
+  if (degenerate) return {order.front(), order.back()};
+
+  std::vector<std::size_t> hull(2 * m);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    const std::size_t i = order[idx];
+    while (k >= 2 &&
+           orient2d(points[hull[k - 2]], points[hull[k - 1]], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = i;
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t idx = m - 1; idx-- > 0;) {
+    const std::size_t i = order[idx];
+    while (k >= lower_size &&
+           orient2d(points[hull[k - 2]], points[hull[k - 1]], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = i;
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+HullPosition classify_against_hull(std::span<const Vec2> hull, Vec2 query) {
+  const std::size_t h = hull.size();
+  if (h == 0) return HullPosition::kOutside;
+  if (h == 1) return query == hull[0] ? HullPosition::kVertex : HullPosition::kOutside;
+  if (h == 2) {
+    if (query == hull[0] || query == hull[1]) return HullPosition::kVertex;
+    return on_segment_open(hull[0], hull[1], query) ? HullPosition::kEdge
+                                                    : HullPosition::kOutside;
+  }
+  bool on_boundary = false;
+  for (std::size_t i = 0; i < h; ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % h];
+    if (query == a) return HullPosition::kVertex;
+    const int o = orient2d(a, b, query);
+    if (o < 0) return HullPosition::kOutside;
+    if (o == 0 && on_segment_closed(a, b, query)) on_boundary = true;
+  }
+  return on_boundary ? HullPosition::kEdge : HullPosition::kInterior;
+}
+
+bool points_in_strictly_convex_position(std::span<const Vec2> points) {
+  if (points.size() <= 2) return true;
+  if (all_collinear(points)) return false;
+  const auto hull = convex_hull_indices(points);
+  return hull.size() == points.size();
+}
+
+bool nearly_collinear(std::span<const Vec2> points, double rel_tol) {
+  const std::size_t n = points.size();
+  if (n <= 2) return true;
+  // Anchor the line on the pair (p0, q) with q farthest from p0 — a
+  // 2-approximation of the diameter, good enough for a tolerance test.
+  std::size_t far_idx = 0;
+  double far_sq = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double d = distance_sq(points[0], points[i]);
+    if (d > far_sq) {
+      far_sq = d;
+      far_idx = i;
+    }
+  }
+  if (far_sq == 0.0) return true;  // All coincident.
+  const Vec2 a = points[0];
+  const Vec2 b = points[far_idx];
+  // |orient| = 2 * area = |ab| * dist(c, line ab); require dist <= tol*|ab|.
+  const double threshold = rel_tol * far_sq;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::fabs(orient2d_value(a, b, points[i])) > threshold) return false;
+  }
+  return true;
+}
+
+bool all_collinear(std::span<const Vec2> points) {
+  const std::size_t n = points.size();
+  if (n <= 2) return true;
+  // Find two distinct anchor points, then test the rest against them.
+  std::size_t second = 1;
+  while (second < n && points[second] == points[0]) ++second;
+  if (second == n) return true;  // All coincident.
+  for (std::size_t i = second + 1; i < n; ++i) {
+    if (orient2d(points[0], points[second], points[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace lumen::geom

@@ -1,0 +1,96 @@
+#include "geom/polygon.hpp"
+
+#include "geom/predicates.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace lumen::geom {
+
+double polygon_signed_area(std::span<const Vec2> poly) noexcept {
+  const std::size_t n = poly.size();
+  if (n < 3) return 0.0;
+  double twice_area = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[(i + 1) % n];
+    twice_area += cross(a, b);
+  }
+  return 0.5 * twice_area;
+}
+
+double polygon_area(std::span<const Vec2> poly) noexcept {
+  return std::fabs(polygon_signed_area(poly));
+}
+
+Vec2 vertex_mean(std::span<const Vec2> pts) noexcept {
+  if (pts.empty()) return {};
+  Vec2 sum{};
+  for (const Vec2 p : pts) sum += p;
+  return sum / static_cast<double>(pts.size());
+}
+
+Vec2 polygon_centroid(std::span<const Vec2> poly) noexcept {
+  const std::size_t n = poly.size();
+  const double a = polygon_signed_area(poly);
+  if (n < 3 || a == 0.0) return vertex_mean(poly);
+  Vec2 c{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 p = poly[i];
+    const Vec2 q = poly[(i + 1) % n];
+    const double w = cross(p, q);
+    c += (p + q) * w;
+  }
+  return c / (6.0 * a);
+}
+
+bool polygon_strictly_convex_ccw(std::span<const Vec2> poly) noexcept {
+  const std::size_t n = poly.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[(i + 1) % n];
+    const Vec2 c = poly[(i + 2) % n];
+    if (orient2d(a, b, c) <= 0) return false;
+  }
+  return true;
+}
+
+bool convex_polygon_contains_strict(std::span<const Vec2> poly, Vec2 p) noexcept {
+  const std::size_t n = poly.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (orient2d(poly[i], poly[(i + 1) % n], p) <= 0) return false;
+  }
+  return true;
+}
+
+double polygon_perimeter(std::span<const Vec2> poly) noexcept {
+  const std::size_t n = poly.size();
+  if (n < 2) return 0.0;
+  double len = 0.0;
+  for (std::size_t i = 0; i < n; ++i) len += distance(poly[i], poly[(i + 1) % n]);
+  return len;
+}
+
+double point_set_diameter(std::span<const Vec2> pts) noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::fmax(best, distance_sq(pts[i], pts[j]));
+    }
+  }
+  return std::sqrt(best);
+}
+
+double min_pairwise_distance(std::span<const Vec2> pts) noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::fmin(best, distance_sq(pts[i], pts[j]));
+    }
+  }
+  return std::isfinite(best) ? std::sqrt(best) : best;
+}
+
+}  // namespace lumen::geom

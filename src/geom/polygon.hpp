@@ -1,0 +1,47 @@
+// lumen_geom: simple-polygon utilities.
+//
+// Used by the safe-wedge construction (clamping insertion targets inside the
+// pocket outside a hull edge), by monitors (convexity audits), and by the
+// SVG renderer (hull outlines).
+#pragma once
+
+#include "geom/vec2.hpp"
+
+#include <span>
+
+namespace lumen::geom {
+
+/// Signed area of a polygon given by its vertices in order (shoelace);
+/// positive for counter-clockwise orientation.
+[[nodiscard]] double polygon_signed_area(std::span<const Vec2> poly) noexcept;
+
+/// Absolute area.
+[[nodiscard]] double polygon_area(std::span<const Vec2> poly) noexcept;
+
+/// Area centroid. For degenerate polygons (area 0) falls back to the vertex
+/// mean, which is what the algorithms want for collinear snapshots.
+[[nodiscard]] Vec2 polygon_centroid(std::span<const Vec2> poly) noexcept;
+
+/// Vertex mean (not area centroid) — the frame-invariant reference point
+/// robots can compute from any snapshot.
+[[nodiscard]] Vec2 vertex_mean(std::span<const Vec2> pts) noexcept;
+
+/// True iff the CCW polygon is strictly convex: every consecutive vertex
+/// triple makes a strict left turn (no collinear runs, no reflex vertices,
+/// no repeated vertices). Exact.
+[[nodiscard]] bool polygon_strictly_convex_ccw(std::span<const Vec2> poly) noexcept;
+
+/// True iff point p is strictly inside the CCW convex polygon. Exact.
+[[nodiscard]] bool convex_polygon_contains_strict(std::span<const Vec2> poly,
+                                                  Vec2 p) noexcept;
+
+/// Perimeter length.
+[[nodiscard]] double polygon_perimeter(std::span<const Vec2> poly) noexcept;
+
+/// Maximum pairwise vertex distance (diameter of the vertex set).
+[[nodiscard]] double point_set_diameter(std::span<const Vec2> pts) noexcept;
+
+/// Minimum pairwise vertex distance; +infinity for fewer than 2 points.
+[[nodiscard]] double min_pairwise_distance(std::span<const Vec2> pts) noexcept;
+
+}  // namespace lumen::geom

@@ -1,0 +1,47 @@
+// lumen_geom: robust geometric predicates.
+//
+// Orientation of three points is THE decision the whole system hangs on:
+// convex-hull corners, collinearity (hence obstructed visibility), and
+// path-crossing classification all reduce to it. Plain double determinants
+// misclassify near-degenerate triples, so orient2d() uses Shewchuk's
+// adaptive scheme: a cheap filtered determinant whose error bound certifies
+// the sign, falling back to exact floating-point expansion arithmetic when
+// the filter cannot decide. The exact path is exercised directly by tests
+// with adversarially collinear inputs.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace lumen::geom {
+
+/// Sign of the signed area of triangle (a, b, c):
+///   +1  -> c is to the left of directed line a->b  (counter-clockwise)
+///    0  -> a, b, c are exactly collinear
+///   -1  -> c is to the right (clockwise)
+/// Exact: the returned sign is the sign of the real-arithmetic determinant.
+[[nodiscard]] int orient2d(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+/// The filtered determinant value (not just sign); exact fallback applied.
+/// Useful where magnitude matters but only near-zero needs exactness.
+[[nodiscard]] double orient2d_value(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+/// True iff a, b, c lie on one line (orient2d == 0).
+[[nodiscard]] inline bool collinear(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return orient2d(a, b, c) == 0;
+}
+
+/// True iff p lies on the CLOSED segment [a, b] (collinear and within the
+/// bounding box). Exact.
+[[nodiscard]] bool on_segment_closed(Vec2 a, Vec2 b, Vec2 p) noexcept;
+
+/// True iff p lies strictly between a and b on the OPEN segment (a, b):
+/// collinear, inside the box, and distinct from both endpoints. Exact.
+/// This is precisely the "blocking" relation of obstructed visibility.
+[[nodiscard]] bool on_segment_open(Vec2 a, Vec2 b, Vec2 p) noexcept;
+
+namespace detail {
+/// Exact sign of (b-a) x (c-a) via expansion arithmetic. Exposed for tests.
+[[nodiscard]] int orient2d_exact_sign(Vec2 a, Vec2 b, Vec2 c) noexcept;
+}  // namespace detail
+
+}  // namespace lumen::geom

@@ -1,0 +1,115 @@
+#include "geom/visibility.hpp"
+
+#include "geom/predicates.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lumen::geom {
+
+std::size_t VisibilityGraph::edge_count() const noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (sees(i, j)) ++c;
+    }
+  }
+  return c;
+}
+
+std::size_t VisibilityGraph::degree(std::size_t i) const noexcept {
+  std::size_t c = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != i && sees(i, j)) ++c;
+  }
+  return c;
+}
+
+bool VisibilityGraph::complete() const noexcept {
+  return edge_count() == n_ * (n_ - 1) / 2;
+}
+
+namespace {
+
+/// Half-plane index for the exact angular order around an origin:
+/// 0 for directions with angle in [0, pi) — dy > 0, or dy == 0 && dx > 0 —
+/// 1 otherwise. Opposite directions always land in different halves.
+inline int half_of(Vec2 d) noexcept {
+  if (d.y > 0.0) return 0;
+  if (d.y < 0.0) return 1;
+  return d.x > 0.0 ? 0 : 1;
+}
+
+}  // namespace
+
+std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) {
+  const Vec2 o = pts[i];
+  std::vector<std::size_t> others;
+  others.reserve(pts.size());
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    if (j != i && pts[j] != o) others.push_back(j);
+  }
+  // Exact CCW angular sort around o; ties (same ray) by distance.
+  std::sort(others.begin(), others.end(), [&](std::size_t a, std::size_t b) {
+    const Vec2 da = pts[a] - o;
+    const Vec2 db = pts[b] - o;
+    const int ha = half_of(da), hb = half_of(db);
+    if (ha != hb) return ha < hb;
+    const int orientation = orient2d(o, pts[a], pts[b]);
+    if (orientation != 0) return orientation > 0;
+    return norm_sq(da) < norm_sq(db);
+  });
+  // Keep only the first (nearest) of each equal-direction run.
+  std::vector<std::size_t> visible;
+  visible.reserve(others.size());
+  for (std::size_t k = 0; k < others.size(); ++k) {
+    if (k > 0) {
+      const std::size_t prev = others[k - 1];
+      const std::size_t cur = others[k];
+      const bool same_ray = half_of(pts[prev] - o) == half_of(pts[cur] - o) &&
+                            orient2d(o, pts[prev], pts[cur]) == 0;
+      if (same_ray) continue;
+    }
+    visible.push_back(others[k]);
+  }
+  return visible;
+}
+
+VisibilityGraph compute_visibility(std::span<const Vec2> pts) {
+  VisibilityGraph g(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (const std::size_t j : visible_from(pts, i)) g.set(i, j);
+  }
+  return g;
+}
+
+bool visible_naive(std::span<const Vec2> pts, std::size_t i, std::size_t j) {
+  if (i == j || pts[i] == pts[j]) return false;
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    if (k == i || k == j) continue;
+    if (on_segment_open(pts[i], pts[j], pts[k])) return false;
+  }
+  return true;
+}
+
+VisibilityGraph compute_visibility_naive(std::span<const Vec2> pts) {
+  VisibilityGraph g(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (visible_naive(pts, i, j)) g.set(i, j);
+    }
+  }
+  return g;
+}
+
+bool complete_visibility(std::span<const Vec2> pts) {
+  const std::size_t n = pts.size();
+  if (n <= 1) return true;
+  // Distinctness first: coincident robots are collisions, never "visible".
+  std::vector<Vec2> sorted(pts.begin(), pts.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
+  return compute_visibility(pts).complete();
+}
+
+}  // namespace lumen::geom

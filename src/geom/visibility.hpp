@@ -1,0 +1,68 @@
+// lumen_geom: obstructed visibility among point robots.
+//
+// Robot i sees robot j iff no third robot lies on the open segment (i, j).
+// Because robots are dimensionless points, a blocker must be EXACTLY
+// collinear — so from any observer, among all robots lying on one ray only
+// the nearest is visible. That observation gives the fast kernel: sort the
+// other robots around the observer with an exact angular comparator
+// (O(n log n) per observer, O(n^2 log n) for the full graph) and keep the
+// nearest robot of every equal-direction run. A brute-force O(n^3) checker
+// is kept as the test oracle.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lumen::geom {
+
+/// Symmetric visibility relation over a fixed point set.
+class VisibilityGraph {
+ public:
+  VisibilityGraph() = default;
+  explicit VisibilityGraph(std::size_t n) : n_(n), bits_(n * n, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool sees(std::size_t i, std::size_t j) const noexcept {
+    return bits_[i * n_ + j] != 0;
+  }
+  void set(std::size_t i, std::size_t j) noexcept {
+    bits_[i * n_ + j] = 1;
+    bits_[j * n_ + i] = 1;
+  }
+
+  /// Number of (unordered) visible pairs.
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+  /// Degree of vertex i.
+  [[nodiscard]] std::size_t degree(std::size_t i) const noexcept;
+  /// True iff every pair of distinct robots is mutually visible.
+  [[nodiscard]] bool complete() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<unsigned char> bits_;
+};
+
+/// Indices of the robots visible from observer `i` (excluding i itself).
+/// Coincident points never see each other (they are collisions, flagged
+/// elsewhere). O(n log n).
+[[nodiscard]] std::vector<std::size_t> visible_from(std::span<const Vec2> pts,
+                                                    std::size_t i);
+
+/// Full visibility graph, O(n^2 log n).
+[[nodiscard]] VisibilityGraph compute_visibility(std::span<const Vec2> pts);
+
+/// Brute-force oracle: is j visible from i? O(n) per query.
+[[nodiscard]] bool visible_naive(std::span<const Vec2> pts, std::size_t i,
+                                 std::size_t j);
+
+/// Brute-force full graph, O(n^3). Test oracle only.
+[[nodiscard]] VisibilityGraph compute_visibility_naive(std::span<const Vec2> pts);
+
+/// True iff the configuration solves Complete Visibility: all points
+/// distinct and every pair mutually visible.
+[[nodiscard]] bool complete_visibility(std::span<const Vec2> pts);
+
+}  // namespace lumen::geom

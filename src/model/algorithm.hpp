@@ -1,0 +1,49 @@
+// lumen_model: the algorithm interface of the robots-with-lights model.
+//
+// An Algorithm is the Compute phase: a PURE function from a Snapshot to an
+// Action (stay or move to a local-frame target, plus the next light color).
+// Instances are shared across all robots and all activations — they carry no
+// per-robot state, which is exactly the obliviousness the model demands.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "model/light.hpp"
+#include "model/snapshot.hpp"
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace lumen::model {
+
+/// Result of one Compute: where to go (local frame) and what to show.
+struct Action {
+  geom::Vec2 target;          ///< Local-frame destination; origin means stay.
+  Light light = Light::kOff;  ///< Color to display from now on.
+
+  [[nodiscard]] bool moves() const noexcept { return target != geom::Vec2{}; }
+
+  static Action stay(Light light) noexcept { return {geom::Vec2{}, light}; }
+  static Action move_to(geom::Vec2 target, Light light) noexcept {
+    return {target, light};
+  }
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// The Compute phase. Must be deterministic in `snap` alone.
+  [[nodiscard]] virtual Action compute(const Snapshot& snap) const = 0;
+
+  /// Stable identifier used in tables and the registry.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// The colors this algorithm may ever emit (its O(1) palette). The color
+  /// audit monitor checks executions against this set.
+  [[nodiscard]] virtual std::span<const Light> palette() const noexcept = 0;
+};
+
+using AlgorithmPtr = std::shared_ptr<const Algorithm>;
+
+}  // namespace lumen::model

@@ -1,0 +1,49 @@
+// lumen_model: the constant-size light palette.
+//
+// The robots-with-lights model gives every robot one externally visible
+// color from an O(1) palette — the only persistent, communicable state a
+// robot has. The reproduction's palette has 7 colors (claim C3 in DESIGN.md:
+// the count must not grow with N; bench_colors audits this).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace lumen::model {
+
+enum class Light : std::uint8_t {
+  kOff = 0,      ///< Initial color of every robot.
+  kCorner,       ///< "I am a strict vertex of the hull; I will not move."
+  kSide,         ///< "I am on a hull edge's interior" (announced before popping out).
+  kInterior,     ///< "I am strictly inside the hull."
+  kTransit,      ///< "I INTEND to exit through my gate" — stationary intent,
+                 ///< the first half of the beacon handshake.
+  kMoving,       ///< "I am IN FLIGHT to my exit slot" — committed movement;
+                 ///< everyone whose path could meet mine must yield.
+  kLine,         ///< "My whole snapshot is collinear and I am not an endpoint."
+  kLineEnd,      ///< "My whole snapshot is collinear and I am an endpoint."
+};
+
+inline constexpr std::size_t kLightCount = 8;
+
+inline constexpr std::array<Light, kLightCount> kAllLights = {
+    Light::kOff,     Light::kCorner, Light::kSide, Light::kInterior,
+    Light::kTransit, Light::kMoving, Light::kLine, Light::kLineEnd,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Light l) noexcept {
+  switch (l) {
+    case Light::kOff: return "Off";
+    case Light::kCorner: return "Corner";
+    case Light::kSide: return "Side";
+    case Light::kInterior: return "Interior";
+    case Light::kTransit: return "Transit";
+    case Light::kMoving: return "Moving";
+    case Light::kLine: return "Line";
+    case Light::kLineEnd: return "LineEnd";
+  }
+  return "?";
+}
+
+}  // namespace lumen::model

@@ -1,0 +1,43 @@
+#include "model/snapshot.hpp"
+
+#include "geom/visibility.hpp"
+
+namespace lumen::model {
+
+std::vector<geom::Vec2> Snapshot::all_positions() const {
+  std::vector<geom::Vec2> pts;
+  pts.reserve(visible.size() + 1);
+  pts.push_back(self_position());
+  for (const auto& e : visible) pts.push_back(e.position);
+  return pts;
+}
+
+std::vector<geom::Vec2> Snapshot::other_positions() const {
+  std::vector<geom::Vec2> pts;
+  pts.reserve(visible.size());
+  for (const auto& e : visible) pts.push_back(e.position);
+  return pts;
+}
+
+std::size_t Snapshot::count_light(Light l) const noexcept {
+  std::size_t c = 0;
+  for (const auto& e : visible) {
+    if (e.light == l) ++c;
+  }
+  return c;
+}
+
+Snapshot build_snapshot(std::span<const geom::Vec2> positions,
+                        std::span<const Light> lights, std::size_t observer,
+                        const LocalFrame& frame) {
+  Snapshot snap;
+  snap.self_light = lights[observer];
+  const auto visible_ids = geom::visible_from(positions, observer);
+  snap.visible.reserve(visible_ids.size());
+  for (const std::size_t j : visible_ids) {
+    snap.visible.push_back(SnapshotEntry{frame.to_local(positions[j]), lights[j]});
+  }
+  return snap;
+}
+
+}  // namespace lumen::model

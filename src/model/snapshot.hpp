@@ -1,0 +1,58 @@
+// lumen_model: Look-phase snapshots.
+//
+// A snapshot is everything a robot may base a decision on: the positions (in
+// its own local frame) and light colors of the robots it can currently see,
+// plus its own light. Algorithms receive ONLY a Snapshot — there is no other
+// channel — which structurally enforces obliviousness: no identities, no
+// history, no global coordinates.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "model/frame.hpp"
+#include "model/light.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lumen::model {
+
+struct SnapshotEntry {
+  geom::Vec2 position;  ///< Local-frame position of a visible robot.
+  Light light;          ///< Its light color at Look time.
+};
+
+/// The observer's view of the world at one Look instant.
+struct Snapshot {
+  Light self_light = Light::kOff;       ///< Observer's own current color.
+  std::vector<SnapshotEntry> visible;   ///< Visible robots, self EXCLUDED.
+
+  /// Observer's own local position — always the local-frame origin by
+  /// construction (frames are robot-centered).
+  [[nodiscard]] static constexpr geom::Vec2 self_position() noexcept { return {}; }
+
+  /// All positions including self (self first). Allocates.
+  [[nodiscard]] std::vector<geom::Vec2> all_positions() const;
+
+  /// Positions of visible robots only (self excluded). Allocates.
+  [[nodiscard]] std::vector<geom::Vec2> other_positions() const;
+
+  /// Number of visible robots whose light is `l`.
+  [[nodiscard]] std::size_t count_light(Light l) const noexcept;
+
+  /// True iff any visible robot shows `l`.
+  [[nodiscard]] bool any_light(Light l) const noexcept {
+    return count_light(l) > 0;
+  }
+};
+
+/// Builds the snapshot of `observer` against world-state arrays.
+/// `positions[i]` / `lights[i]` are the CURRENT world position (possibly
+/// mid-move under ASYNC) and light of robot i. Visibility is obstructed;
+/// entries are mapped through `frame` into the observer's local coordinates.
+[[nodiscard]] Snapshot build_snapshot(std::span<const geom::Vec2> positions,
+                                      std::span<const Light> lights,
+                                      std::size_t observer,
+                                      const LocalFrame& frame);
+
+}  // namespace lumen::model

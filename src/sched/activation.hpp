@@ -1,0 +1,45 @@
+// lumen_sched: round-based activation policies (FSYNC / SSYNC).
+//
+// In the (semi-)synchronous settings time is discrete rounds; in each round
+// a scheduler activates a non-empty subset of robots which then Look,
+// Compute and Move atomically. FSYNC activates everyone; SSYNC adversaries
+// pick subsets. Fairness (every robot activated infinitely often) is
+// guaranteed by construction in every policy here.
+#pragma once
+
+#include "util/prng.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace lumen::sched {
+
+enum class ActivationKind {
+  kAll,          ///< FSYNC: every robot, every round.
+  kRandomHalf,   ///< SSYNC: each robot independently with probability 1/2
+                 ///< (re-drawn until non-empty).
+  kSingleton,    ///< SSYNC worst case: exactly one robot per round,
+                 ///< round-robin — the sequential adversary.
+  kRandomSingle, ///< SSYNC: one uniformly random robot per round.
+};
+
+[[nodiscard]] std::string_view to_string(ActivationKind k) noexcept;
+
+class ActivationPolicy {
+ public:
+  virtual ~ActivationPolicy() = default;
+
+  /// Indices of the robots activated in `round`; guaranteed non-empty,
+  /// strictly increasing.
+  [[nodiscard]] virtual std::vector<std::size_t> activate(std::size_t n,
+                                                          std::uint64_t round,
+                                                          util::Prng& rng) const = 0;
+
+  [[nodiscard]] virtual ActivationKind kind() const noexcept = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ActivationPolicy> make_activation(ActivationKind kind);
+
+}  // namespace lumen::sched

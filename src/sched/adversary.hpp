@@ -1,0 +1,60 @@
+// lumen_sched: ASYNC adversaries.
+//
+// In the asynchronous model every robot's Wait, Compute and Move phases take
+// arbitrary finite durations chosen by an adversary. We model the adversary
+// as a seeded policy that samples per-cycle phase timings; different policy
+// families stress different hazards (uniform jitter, heavy-tailed stalls, a
+// single slow robot, bursty lockstep-then-chaos). Determinism: the same
+// (policy, seed) reproduces the same schedule bit-for-bit.
+#pragma once
+
+#include "util/prng.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace lumen::sched {
+
+/// Durations of the non-instantaneous phases of one LCM cycle.
+/// Look itself is instantaneous (a snapshot). Movement is rigid (the robot
+/// always arrives); the adversary picks the DURATION of the move directly —
+/// the robot's speed is whatever covers the distance in that time. Sampling
+/// duration rather than speed keeps epochs comparable across world scales
+/// (a move across the configuration and a local nudge are both "one move"
+/// to the time measure, exactly as in the abstract model where the
+/// adversary may pause and speed up robots arbitrarily mid-cycle).
+struct PhaseTiming {
+  double wait = 0.0;           ///< Idle time before Look.
+  double compute = 0.0;        ///< Time between Look and the move/light commit.
+  double move_duration = 1.0;  ///< Time a (non-null) Move takes (> 0).
+};
+
+/// Known adversary families.
+enum class AdversaryKind {
+  kUniform,   ///< All phases uniform in moderate ranges — generic jitter.
+  kBursty,    ///< Exponential heavy-tail waits: long stalls amid fast cycles.
+  kStallOne,  ///< Robot 0 runs an order of magnitude slower than the rest.
+  kLockstep,  ///< Near-identical timings: adversary tries to synchronize
+              ///< Looks so stale-snapshot races collide maximally.
+};
+
+[[nodiscard]] std::string_view to_string(AdversaryKind k) noexcept;
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Samples phase timings for the given robot's cycle. `rng` is the
+  /// engine's schedule stream; policies must draw all randomness from it.
+  [[nodiscard]] virtual PhaseTiming sample(std::size_t robot, std::uint64_t cycle,
+                                           util::Prng& rng) const = 0;
+
+  [[nodiscard]] virtual AdversaryKind kind() const noexcept = 0;
+};
+
+/// Factory over the known families.
+[[nodiscard]] std::unique_ptr<Adversary> make_adversary(AdversaryKind kind);
+
+}  // namespace lumen::sched

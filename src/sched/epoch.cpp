@@ -1,0 +1,59 @@
+#include "sched/epoch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lumen::sched {
+
+void EpochTimeline::add_cycle(const CycleRecord& rec) {
+  if (rec.robot >= per_robot_.size()) {
+    throw std::out_of_range("EpochTimeline::add_cycle: robot index out of range");
+  }
+  auto& cycles = per_robot_[rec.robot];
+  if (!cycles.empty() && rec.start < cycles.back().first) {
+    throw std::invalid_argument("EpochTimeline::add_cycle: cycles out of order");
+  }
+  cycles.emplace_back(rec.start, rec.end);
+}
+
+std::size_t EpochTimeline::cycle_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& v : per_robot_) total += v.size();
+  return total;
+}
+
+std::vector<double> EpochTimeline::epoch_boundaries(double horizon) const {
+  std::vector<double> boundaries;
+  if (per_robot_.empty()) return boundaries;
+  // Per-robot cursor into its cycle list.
+  std::vector<std::size_t> cursor(per_robot_.size(), 0);
+  double epoch_begin = 0.0;
+  for (;;) {
+    double epoch_end = epoch_begin;
+    bool complete = true;
+    for (std::size_t r = 0; r < per_robot_.size(); ++r) {
+      const auto& cycles = per_robot_[r];
+      std::size_t c = cursor[r];
+      while (c < cycles.size() && cycles[c].first < epoch_begin) ++c;
+      cursor[r] = c;
+      if (c == cycles.size() || cycles[c].second > horizon) {
+        complete = false;
+        break;
+      }
+      epoch_end = std::max(epoch_end, cycles[c].second);
+    }
+    if (!complete) break;
+    boundaries.push_back(epoch_end);
+    // Guard against zero-length epochs (all cycles instantaneous) looping.
+    if (epoch_end <= epoch_begin) epoch_end = std::nextafter(epoch_begin, 1e300);
+    epoch_begin = epoch_end;
+  }
+  return boundaries;
+}
+
+std::size_t EpochTimeline::count_epochs(double horizon) const {
+  return epoch_boundaries(horizon).size();
+}
+
+}  // namespace lumen::sched

@@ -1,0 +1,51 @@
+// lumen_sched: epoch accounting — the time measure behind every bound.
+//
+// ASYNC time is measured in epochs: starting from the epoch's begin time,
+// the epoch ends at the earliest instant by which EVERY robot has completed
+// at least one full LCM cycle that STARTED within the epoch. The paper's
+// O(log N) claim counts exactly these epochs. The timeline is reconstructed
+// after the run from the recorded (start, end) of each cycle, which makes
+// the accounting independent of engine internals and easy to test.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumen::sched {
+
+/// One completed LCM cycle of one robot.
+struct CycleRecord {
+  std::size_t robot = 0;
+  double start = 0.0;  ///< Wait-phase begin (cycle start).
+  double end = 0.0;    ///< Move completion (cycle end).
+};
+
+class EpochTimeline {
+ public:
+  explicit EpochTimeline(std::size_t robot_count) : per_robot_(robot_count) {}
+
+  /// Records a completed cycle. Cycles of one robot must arrive in
+  /// chronological order (the engine naturally emits them so).
+  void add_cycle(const CycleRecord& rec);
+
+  /// Number of robots being tracked.
+  [[nodiscard]] std::size_t robot_count() const noexcept { return per_robot_.size(); }
+
+  /// Total cycles recorded.
+  [[nodiscard]] std::size_t cycle_count() const noexcept;
+
+  /// Number of COMPLETE epochs contained in [0, horizon]. Greedy
+  /// reconstruction: epoch e begins where epoch e-1 ended; it ends at
+  /// max over robots of (end of the robot's first cycle with start >= epoch
+  /// begin). An epoch that cannot complete within the horizon is not counted.
+  [[nodiscard]] std::size_t count_epochs(double horizon) const;
+
+  /// The end times of each complete epoch in [0, horizon].
+  [[nodiscard]] std::vector<double> epoch_boundaries(double horizon) const;
+
+ private:
+  // Per robot: chronologically sorted cycles (start, end).
+  std::vector<std::vector<std::pair<double, double>>> per_robot_;
+};
+
+}  // namespace lumen::sched

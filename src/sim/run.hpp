@@ -1,0 +1,90 @@
+// lumen_sim: running one execution end-to-end.
+//
+// run_simulation() binds an Algorithm, an initial configuration and a
+// scheduler into one execution and returns everything the monitors, benches
+// and renderers need: the motion record, the cycle timeline (for epoch
+// accounting), the lights audit and the convergence status.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "model/algorithm.hpp"
+#include "model/light.hpp"
+#include "sched/activation.hpp"
+#include "sched/adversary.hpp"
+#include "sched/epoch.hpp"
+#include "sim/trajectory.hpp"
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lumen::sim {
+
+enum class SchedulerKind { kFsync, kSsync, kAsync };
+
+[[nodiscard]] std::string_view to_string(SchedulerKind k) noexcept;
+
+struct RunConfig {
+  SchedulerKind scheduler = SchedulerKind::kAsync;
+  /// ASYNC only: the timing adversary.
+  sched::AdversaryKind adversary = sched::AdversaryKind::kUniform;
+  /// SSYNC only: the activation adversary (FSYNC forces kAll).
+  sched::ActivationKind activation = sched::ActivationKind::kRandomHalf;
+  std::uint64_t seed = 1;
+  /// Abort threshold: a run exceeding this many cycles per robot (on
+  /// average) is reported as not converged.
+  std::size_t max_cycles_per_robot = 4096;
+  /// Draw a fresh random local frame at every Look (full disorientation).
+  /// When false, each robot keeps one fixed random frame.
+  bool refresh_frames_each_look = true;
+  /// Record hull corner counts over time (costs O(N log N) per move).
+  bool record_hull_history = false;
+  /// Rigid movement: a moving robot always reaches its target. When false
+  /// (the NON-RIGID model variant), the adversary may stop the robot
+  /// anywhere along its path as long as it travels at least
+  /// min(nonrigid_min_progress, the full distance) — the classic delta
+  /// guarantee that keeps Zeno behaviours out.
+  bool rigid_moves = true;
+  double nonrigid_min_progress = 0.5;
+};
+
+/// Corner census at one instant (for the doubling experiment, claim C6).
+struct HullSample {
+  double time = 0.0;
+  std::size_t corners = 0;       ///< Strict hull vertices.
+  std::size_t non_corners = 0;   ///< Robots not yet in convex position.
+};
+
+struct RunResult {
+  bool converged = false;
+  double final_time = 0.0;
+  std::size_t epochs = 0;        ///< ASYNC epochs / sync epochs (see DESIGN §1).
+  std::size_t rounds = 0;        ///< Sync rounds executed (0 for ASYNC).
+  std::size_t total_cycles = 0;
+  std::size_t total_moves = 0;
+  double total_distance = 0.0;
+  std::vector<geom::Vec2> initial_positions;
+  std::vector<geom::Vec2> final_positions;
+  std::vector<model::Light> final_lights;
+  std::vector<MoveSegment> moves;
+  std::vector<HullSample> hull_history;
+  /// lights_seen[i] is true iff color kAllLights[i] was ever displayed.
+  std::array<bool, model::kLightCount> lights_seen{};
+
+  [[nodiscard]] std::size_t distinct_lights_used() const noexcept {
+    std::size_t c = 0;
+    for (const bool b : lights_seen) {
+      if (b) ++c;
+    }
+    return c;
+  }
+};
+
+/// Executes the algorithm from `initial` until quiescence or the cycle cap.
+/// Deterministic in (algorithm, initial, config).
+[[nodiscard]] RunResult run_simulation(const model::Algorithm& algorithm,
+                                       std::span<const geom::Vec2> initial,
+                                       const RunConfig& config);
+
+}  // namespace lumen::sim

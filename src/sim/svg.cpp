@@ -1,0 +1,103 @@
+#include "sim/svg.hpp"
+
+#include "geom/hull.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace lumen::sim {
+
+namespace {
+
+const char* light_color(model::Light l) noexcept {
+  switch (l) {
+    case model::Light::kOff: return "#9aa0a6";
+    case model::Light::kCorner: return "#1a73e8";
+    case model::Light::kSide: return "#f9ab00";
+    case model::Light::kInterior: return "#d93025";
+    case model::Light::kTransit: return "#9334e6";
+    case model::Light::kMoving: return "#e37400";
+    case model::Light::kLine: return "#12b5cb";
+    case model::Light::kLineEnd: return "#188038";
+  }
+  return "#000000";
+}
+
+}  // namespace
+
+std::string render_svg(const RunResult& run, const SvgOptions& options) {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x, max_x = -min_x, max_y = -min_x;
+  const auto extend = [&](geom::Vec2 p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const auto& p : run.initial_positions) extend(p);
+  for (const auto& p : run.final_positions) extend(p);
+  if (!std::isfinite(min_x)) min_x = min_y = max_x = max_y = 0.0;
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  const double sx = (options.width - 2 * options.margin) / span_x;
+  const double sy = (options.height - 2 * options.margin) / span_y;
+  const double s = std::min(sx, sy);
+  const auto map = [&](geom::Vec2 p) {
+    // Flip y so the plane's +y points up on screen.
+    return geom::Vec2{options.margin + (p.x - min_x) * s,
+                      options.height - options.margin - (p.y - min_y) * s};
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options.width
+      << "' height='" << options.height << "' viewBox='0 0 " << options.width
+      << ' ' << options.height << "'>\n";
+  svg << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  if (options.draw_hull && run.final_positions.size() >= 3) {
+    const auto hull = geom::convex_hull_indices(run.final_positions);
+    svg << "<polygon fill='none' stroke='#dadce0' stroke-width='1.5' points='";
+    for (const auto i : hull) {
+      const geom::Vec2 q = map(run.final_positions[i]);
+      svg << q.x << ',' << q.y << ' ';
+    }
+    svg << "'/>\n";
+  }
+  if (options.draw_paths) {
+    for (const auto& m : run.moves) {
+      const geom::Vec2 a = map(m.from);
+      const geom::Vec2 b = map(m.to);
+      svg << "<line x1='" << a.x << "' y1='" << a.y << "' x2='" << b.x
+          << "' y2='" << b.y
+          << "' stroke='#e8eaed' stroke-width='1'/>\n";
+    }
+  }
+  if (options.draw_initial) {
+    for (const auto& p : run.initial_positions) {
+      const geom::Vec2 q = map(p);
+      svg << "<circle cx='" << q.x << "' cy='" << q.y
+          << "' r='3' fill='none' stroke='#bdc1c6'/>\n";
+    }
+  }
+  for (std::size_t i = 0; i < run.final_positions.size(); ++i) {
+    const geom::Vec2 q = map(run.final_positions[i]);
+    const model::Light l =
+        i < run.final_lights.size() ? run.final_lights[i] : model::Light::kOff;
+    svg << "<circle cx='" << q.x << "' cy='" << q.y << "' r='4' fill='"
+        << light_color(l) << "'/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool save_svg(const RunResult& run, const std::string& path,
+              const SvgOptions& options) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render_svg(run, options);
+  return static_cast<bool>(f);
+}
+
+}  // namespace lumen::sim

@@ -1,0 +1,32 @@
+// lumen_sim: SVG rendering of executions.
+//
+// Renders a recorded run as a static SVG: initial positions (hollow), final
+// positions (filled, colored by final light), motion paths, and the final
+// hull outline. Used by the examples to produce inspectable artifacts of
+// single executions.
+#pragma once
+
+#include "sim/run.hpp"
+
+#include <string>
+
+namespace lumen::sim {
+
+struct SvgOptions {
+  double width = 800.0;
+  double height = 800.0;
+  double margin = 40.0;
+  bool draw_paths = true;
+  bool draw_hull = true;
+  bool draw_initial = true;
+};
+
+/// Renders the run as a self-contained SVG document.
+[[nodiscard]] std::string render_svg(const RunResult& run,
+                                     const SvgOptions& options = {});
+
+/// Renders and writes to `path`; returns false on I/O failure.
+bool save_svg(const RunResult& run, const std::string& path,
+              const SvgOptions& options = {});
+
+}  // namespace lumen::sim

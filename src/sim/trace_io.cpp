@@ -1,0 +1,132 @@
+#include "sim/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace lumen::sim {
+
+namespace {
+
+/// Shortest round-trip representation of a double ("%.17g" is exact).
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Trace make_trace(const RunResult& run) {
+  Trace t;
+  t.robot_count = run.initial_positions.size();
+  t.converged = run.converged;
+  t.final_time = run.final_time;
+  t.epochs = run.epochs;
+  t.initial_positions = run.initial_positions;
+  t.moves = run.moves;
+  return t;
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "{\"type\":\"lumen-trace\",\"version\":1,\"robots\":" << trace.robot_count
+     << ",\"converged\":" << (trace.converged ? "true" : "false")
+     << ",\"final_time\":" << number(trace.final_time)
+     << ",\"epochs\":" << trace.epochs << ",\"moves\":" << trace.moves.size()
+     << "}\n";
+  for (const auto& p : trace.initial_positions) {
+    os << "{\"init\":[" << number(p.x) << ',' << number(p.y) << "]}\n";
+  }
+  for (const auto& m : trace.moves) {
+    os << "{\"robot\":" << m.robot << ",\"t\":[" << number(m.t0) << ','
+       << number(m.t1) << "],\"from\":[" << number(m.from.x) << ','
+       << number(m.from.y) << "],\"to\":[" << number(m.to.x) << ','
+       << number(m.to.y) << "]}\n";
+  }
+}
+
+std::optional<Trace> read_trace(std::istream& is) {
+  Trace t;
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  unsigned long long robots = 0, epochs = 0, moves = 0;
+  char converged[8] = {0};
+  // The writer's format is fixed, so a strict scanf parse suffices (and
+  // rejects anything else).
+  if (std::sscanf(line.c_str(),
+                  "{\"type\":\"lumen-trace\",\"version\":1,\"robots\":%llu"
+                  ",\"converged\":%5[a-z],\"final_time\":%lf,\"epochs\":%llu"
+                  ",\"moves\":%llu}",
+                  &robots, converged, &t.final_time, &epochs, &moves) != 5) {
+    return std::nullopt;
+  }
+  const std::string conv = converged;
+  if (conv != "true" && conv != "false") return std::nullopt;
+  t.converged = conv == "true";
+  t.robot_count = robots;
+  t.epochs = epochs;
+  if (robots > 10'000'000ULL || moves > 100'000'000ULL) return std::nullopt;
+
+  t.initial_positions.reserve(robots);
+  for (unsigned long long i = 0; i < robots; ++i) {
+    if (!std::getline(is, line)) return std::nullopt;
+    geom::Vec2 p;
+    if (std::sscanf(line.c_str(), "{\"init\":[%lf,%lf]}", &p.x, &p.y) != 2) {
+      return std::nullopt;
+    }
+    t.initial_positions.push_back(p);
+  }
+  t.moves.reserve(moves);
+  for (unsigned long long i = 0; i < moves; ++i) {
+    if (!std::getline(is, line)) return std::nullopt;
+    MoveSegment m;
+    unsigned long long robot = 0;
+    if (std::sscanf(line.c_str(),
+                    "{\"robot\":%llu,\"t\":[%lf,%lf],\"from\":[%lf,%lf]"
+                    ",\"to\":[%lf,%lf]}",
+                    &robot, &m.t0, &m.t1, &m.from.x, &m.from.y, &m.to.x,
+                    &m.to.y) != 7) {
+      return std::nullopt;
+    }
+    if (robot >= t.robot_count) return std::nullopt;
+    m.robot = robot;
+    t.moves.push_back(m);
+  }
+  return t;
+}
+
+bool save_trace(const RunResult& run, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_trace(f, make_trace(run));
+  return static_cast<bool>(f);
+}
+
+std::optional<Trace> load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  return read_trace(f);
+}
+
+bool traces_equal(const Trace& a, const Trace& b) {
+  if (a.robot_count != b.robot_count || a.converged != b.converged ||
+      a.final_time != b.final_time || a.epochs != b.epochs ||
+      a.initial_positions != b.initial_positions ||
+      a.moves.size() != b.moves.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.moves.size(); ++i) {
+    const MoveSegment& x = a.moves[i];
+    const MoveSegment& y = b.moves[i];
+    if (x.robot != y.robot || x.t0 != y.t0 || x.t1 != y.t1 || x.from != y.from ||
+        x.to != y.to) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lumen::sim

@@ -1,0 +1,46 @@
+// lumen_sim: execution trace export and replay verification.
+//
+// A RunResult's motion record serializes to a line-oriented JSON (JSONL)
+// trace: one header line, one line per initial position, one line per move.
+// Traces are the exchange format for offline analysis (plotting, external
+// checkers) and for regression pinning: a loaded trace can be re-audited by
+// the collision monitor and compared against a fresh run of the same seed.
+#pragma once
+
+#include "sim/run.hpp"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace lumen::sim {
+
+/// Subset of a RunResult that round-trips through a trace file.
+struct Trace {
+  std::size_t robot_count = 0;
+  bool converged = false;
+  double final_time = 0.0;
+  std::size_t epochs = 0;
+  std::vector<geom::Vec2> initial_positions;
+  std::vector<MoveSegment> moves;
+};
+
+/// Extracts the traceable subset of a run.
+[[nodiscard]] Trace make_trace(const RunResult& run);
+
+/// Writes the trace as JSONL. Deterministic output (fixed float format).
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace written by write_trace. Returns nullopt on malformed
+/// input (wrong header, counts out of range, unparsable lines).
+[[nodiscard]] std::optional<Trace> read_trace(std::istream& is);
+
+/// Convenience file round-trips.
+bool save_trace(const RunResult& run, const std::string& path);
+[[nodiscard]] std::optional<Trace> load_trace(const std::string& path);
+
+/// True iff the two traces describe the same execution (exact positions
+/// and move records; converged/epochs metadata must match too).
+[[nodiscard]] bool traces_equal(const Trace& a, const Trace& b);
+
+}  // namespace lumen::sim

@@ -1,0 +1,102 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace lumen::util {
+
+Cli& Cli::flag(std::string name, std::string help, std::string default_value) {
+  specs_[std::move(name)] = Spec{std::move(help), std::move(default_value)};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    if (!value) {
+      // A bare flag is boolean true unless the next token is a value for a
+      // flag whose default is non-boolean-looking.
+      const bool next_is_value =
+          i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0;
+      const std::string& dflt = it->second.default_value;
+      const bool boolean_like = dflt.empty() || dflt == "true" || dflt == "false";
+      if (next_is_value && !boolean_like) {
+        value = std::string(argv[++i]);
+      } else {
+        value = "true";
+      }
+    }
+    values_[name] = *value;
+  }
+  return true;
+}
+
+std::string Cli::get(std::string_view name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  if (const auto it = specs_.find(name); it != specs_.end()) return it->second.default_value;
+  return {};
+}
+
+std::int64_t Cli::get_int(std::string_view name) const {
+  const std::string v = get(name);
+  return v.empty() ? 0 : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(std::string_view name) const {
+  const std::string v = get(name);
+  return v.empty() ? 0.0 : std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_bool(std::string_view name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+bool Cli::is_set(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::vector<std::int64_t> Cli::get_int_list(std::string_view name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) out.push_back(std::strtoll(part.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::string Cli::usage(std::string_view program, std::string_view description) const {
+  std::ostringstream os;
+  os << program << " — " << description << "\n\nFlags:\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.default_value.empty()) os << " (default: " << spec.default_value << ")";
+    os << "\n      " << spec.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lumen::util

@@ -1,0 +1,59 @@
+// lumen_util: minimal declarative command-line flag parser.
+//
+// Bench binaries and examples share the same flag conventions:
+//   --name=value   or   --name value   or   --flag (bool, sets true)
+// Unknown flags are an error (catches typos in sweep scripts); positional
+// arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lumen::util {
+
+class Cli {
+ public:
+  /// Registers a flag with a help string and a default rendered in --help.
+  Cli& flag(std::string name, std::string help, std::string default_value = "");
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// missing values. `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Typed accessors fall back to the registered default when unset.
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+  [[nodiscard]] bool is_set(std::string_view name) const;
+
+  /// Parses comma-separated integers, e.g. "8,16,32".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(std::string_view name) const;
+
+  /// Renders usage text for --help.
+  [[nodiscard]] std::string usage(std::string_view program,
+                                  std::string_view description) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+  };
+  std::map<std::string, Spec, std::less<>> specs_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_ = false;
+};
+
+}  // namespace lumen::util

@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lumen::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+std::function<void(LogLevel, std::string_view)>& sink_ref() {
+  static std::function<void(LogLevel, std::string_view)> sink;
+  return sink;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::function<void(LogLevel, std::string_view)> sink) {
+  std::lock_guard lock(g_sink_mutex);
+  sink_ref() = std::move(sink);
+}
+
+void log_message(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (sink_ref()) {
+    sink_ref()(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace lumen::util

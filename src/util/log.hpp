@@ -1,0 +1,73 @@
+// lumen_util: leveled logging and scoped wall-clock timing.
+//
+// The simulator is deterministic, so log output doubles as an execution
+// trace; levels let campaigns run silent while single-run debugging stays
+// verbose. Thread-safe (a single mutex serializes sinks).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lumen::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; messages below it are dropped cheaply.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Replaces the sink (default: stderr). Pass nullptr to restore the default.
+void set_log_sink(std::function<void(LogLevel, std::string_view)> sink);
+
+/// Emits a message at `level` (no-op if below the current level).
+void log_message(LogLevel level, std::string_view msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Stream-style helpers: LUMEN_INFO() << "epoch " << e;
+#define LUMEN_LOG(level)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::lumen::util::log_level())) { \
+  } else                                                     \
+    ::lumen::util::detail::LogLine(level)
+#define LUMEN_TRACE() LUMEN_LOG(::lumen::util::LogLevel::kTrace)
+#define LUMEN_DEBUG() LUMEN_LOG(::lumen::util::LogLevel::kDebug)
+#define LUMEN_INFO() LUMEN_LOG(::lumen::util::LogLevel::kInfo)
+#define LUMEN_WARN() LUMEN_LOG(::lumen::util::LogLevel::kWarn)
+#define LUMEN_ERROR() LUMEN_LOG(::lumen::util::LogLevel::kError)
+
+/// Measures wall time between construction and stop()/destruction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lumen::util

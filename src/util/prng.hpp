@@ -1,0 +1,121 @@
+// lumen_util: deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in lumen (configuration generators, schedulers,
+// adversary policies, campaign runners) draws from a Prng seeded explicitly,
+// so any run is reproducible from its seed. Sub-streams are derived with
+// split(), which hashes (state, tag) so that adding a consumer never perturbs
+// the draws of existing consumers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace lumen::util {
+
+/// SplitMix64 step: the standard seeding/stream-derivation mixer.
+/// Advances `state` and returns a well-mixed 64-bit value.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator. Fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all four lanes through SplitMix64 so that nearby seeds yield
+  /// uncorrelated streams.
+  explicit constexpr Prng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& lane : state_) lane = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). Uses the top 53 bits.
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Lemire's unbiased multiply-shift rejection.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability p of true.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+  /// Derives an independent child stream identified by `tag`.
+  /// Deterministic in (current state, tag); does not advance this stream.
+  [[nodiscard]] Prng split(std::string_view tag) const noexcept;
+
+  /// Derives an independent child stream identified by an integer tag.
+  [[nodiscard]] Prng split(std::uint64_t tag) const noexcept;
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename RandomIt>
+  void shuffle(RandomIt first, RandomIt last) noexcept {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = next_below(i);
+      using std::swap;
+      swap(first[static_cast<std::ptrdiff_t>(i - 1)],
+           first[static_cast<std::ptrdiff_t>(j)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// FNV-1a hash of a string, used for tag-based stream splitting.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace lumen::util

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lumen::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void ThreadPool::record_exception() {
+  std::lock_guard lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t tasks = std::min(workers_.size(), (count + grain - 1) / grain);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([next, count, grain, &body] {
+      for (;;) {
+        const std::size_t begin = next->fetch_add(grain);
+        if (begin >= count) return;
+        const std::size_t end = std::min(begin + grain, count);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace lumen::util

@@ -1,0 +1,62 @@
+// lumen_util: fixed-size worker pool with a blocking parallel_for.
+//
+// Campaign sweeps (thousands of independent simulations) are embarrassingly
+// parallel; ThreadPool::parallel_for partitions the index space dynamically
+// (atomic chunk grabbing) so uneven run lengths balance automatically.
+// Exceptions thrown by tasks are captured and rethrown on the caller thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lumen::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed. Rethrows the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, count), distributing dynamically across the
+  /// pool and blocking until done. `grain` indices are claimed at a time.
+  /// Rethrows the first exception thrown by any invocation.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+ private:
+  void worker_loop();
+  void record_exception();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Shared process-wide pool sized to the machine; lazily constructed.
+ThreadPool& global_pool();
+
+}  // namespace lumen::util

@@ -1,0 +1,97 @@
+// Campaign-runner tests: determinism under parallel execution, metric
+// correctness, and the N-sweep plumbing the benches are built on.
+#include "analysis/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumen::analysis {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.algorithm = "async-log";
+  spec.family = gen::ConfigFamily::kUniformDisk;
+  spec.n = 16;
+  spec.runs = 6;
+  spec.seed_base = 100;
+  return spec;
+}
+
+TEST(Campaign, AllRunsConvergeAndVerify) {
+  const auto result = run_campaign(small_spec());
+  ASSERT_EQ(result.runs.size(), 6u);
+  EXPECT_EQ(result.converged_count(), 6u);
+  EXPECT_EQ(result.visibility_ok_count(), 6u);
+  EXPECT_EQ(result.collision_free_count(), 6u);
+  EXPECT_LE(result.max_colors(), model::kLightCount);
+  const auto epochs = result.epochs();
+  EXPECT_EQ(epochs.count, 6u);
+  EXPECT_GT(epochs.mean, 0.0);
+}
+
+TEST(Campaign, SeedsAreSequentialFromBase) {
+  const auto result = run_campaign(small_spec());
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    EXPECT_EQ(result.runs[i].seed, 100 + i);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossPoolSizes) {
+  util::ThreadPool serial{1};
+  util::ThreadPool wide{8};
+  const auto a = run_campaign(small_spec(), &serial);
+  const auto b = run_campaign(small_spec(), &wide);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].epochs, b.runs[i].epochs) << i;
+    EXPECT_EQ(a.runs[i].cycles, b.runs[i].cycles) << i;
+    EXPECT_EQ(a.runs[i].moves, b.runs[i].moves) << i;
+    EXPECT_EQ(a.runs[i].distance, b.runs[i].distance) << i;
+  }
+}
+
+TEST(Campaign, CollisionAuditCanBeDisabled) {
+  CampaignSpec spec = small_spec();
+  spec.audit_collisions = false;
+  const auto result = run_campaign(spec);
+  for (const auto& m : result.runs) {
+    EXPECT_TRUE(m.collision_free);  // Default, not audited.
+    EXPECT_EQ(m.min_observed_separation, 0.0);
+  }
+}
+
+TEST(Campaign, UnknownAlgorithmThrows) {
+  CampaignSpec spec = small_spec();
+  spec.algorithm = "bogus";
+  EXPECT_THROW((void)run_campaign(spec), std::invalid_argument);
+}
+
+TEST(Campaign, SweepProducesOnePointPerN) {
+  const std::vector<std::size_t> ns = {8, 16, 32};
+  CampaignSpec spec = small_spec();
+  spec.runs = 3;
+  const auto points = sweep_n(spec, ns);
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    EXPECT_EQ(points[i].n, ns[i]);
+    EXPECT_EQ(points[i].result.spec.n, ns[i]);
+    EXPECT_EQ(points[i].result.converged_count(), 3u);
+  }
+  // Epochs grow with N in expectation.
+  EXPECT_LE(points[0].result.epochs().mean, points[2].result.epochs().mean * 1.5);
+}
+
+TEST(Campaign, BaselineTakesMoreEpochsThanAsyncLog) {
+  CampaignSpec fast = small_spec();
+  fast.n = 32;
+  CampaignSpec slow = fast;
+  slow.algorithm = "seq-baseline";
+  const auto fast_result = run_campaign(fast);
+  const auto slow_result = run_campaign(slow);
+  ASSERT_GT(fast_result.epochs().count, 0u);
+  ASSERT_GT(slow_result.epochs().count, 0u);
+  EXPECT_GT(slow_result.epochs().mean, fast_result.epochs().mean);
+}
+
+}  // namespace
+}  // namespace lumen::analysis

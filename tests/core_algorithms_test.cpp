@@ -1,0 +1,292 @@
+// Unit tests of the three algorithms' Compute rules on hand-built
+// snapshots: who stays, who announces, who moves, and what colors they show.
+#include "core/baseline_sequential.hpp"
+#include "core/cv_async.hpp"
+#include "core/registry.hpp"
+#include "core/ssync_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/segment.hpp"
+#include "model/snapshot.hpp"
+
+namespace lumen::core {
+namespace {
+
+using geom::Vec2;
+using model::Action;
+using model::Light;
+using model::Snapshot;
+using model::SnapshotEntry;
+
+Snapshot make_snapshot(Light self, std::vector<SnapshotEntry> visible) {
+  Snapshot snap;
+  snap.self_light = self;
+  snap.visible = std::move(visible);
+  return snap;
+}
+
+TEST(Registry, KnownNamesConstruct) {
+  for (const auto& name : algorithm_names()) {
+    const auto algo = make_algorithm(name);
+    ASSERT_NE(algo, nullptr);
+    EXPECT_EQ(algo->name(), name);
+    EXPECT_FALSE(algo->palette().empty());
+    EXPECT_LE(algo->palette().size(), model::kLightCount);
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingValid) {
+  try {
+    (void)make_algorithm("nope");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("async-log"), std::string::npos);
+  }
+}
+
+class AllAlgorithmsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  model::AlgorithmPtr algo_ = make_algorithm(GetParam());
+};
+
+TEST_P(AllAlgorithmsTest, AloneRobotStaysAsCorner) {
+  const Action a = algo_->compute(make_snapshot(Light::kOff, {}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kCorner);
+}
+
+TEST_P(AllAlgorithmsTest, CornerOfTriangleStays) {
+  const Action a = algo_->compute(make_snapshot(
+      Light::kOff, {{{4, 0}, Light::kOff}, {{2, 3}, Light::kOff}}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kCorner);
+}
+
+TEST_P(AllAlgorithmsTest, LineEndpointHoldsStill) {
+  const Action a = algo_->compute(make_snapshot(
+      Light::kOff, {{{1, 0}, Light::kOff}}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kLineEnd);
+}
+
+TEST_P(AllAlgorithmsTest, LineMiddleEscapesPerpendicular) {
+  const Action a = algo_->compute(make_snapshot(
+      Light::kOff, {{{-2, 0}, Light::kOff}, {{2, 0}, Light::kOff}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kLine);
+  EXPECT_NEAR(a.target.x, 0.0, 1e-12);
+  EXPECT_NEAR(std::fabs(a.target.y), 0.5, 1e-12);
+}
+
+TEST_P(AllAlgorithmsTest, DeterministicOnIdenticalSnapshots) {
+  const Snapshot snap = make_snapshot(
+      Light::kInterior, {{{4, 0}, Light::kCorner},
+                         {{0, 4}, Light::kCorner},
+                         {{-4, -4}, Light::kCorner}});
+  const Action a = algo_->compute(snap);
+  const Action b = algo_->compute(snap);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.light, b.light);
+}
+
+TEST_P(AllAlgorithmsTest, EmitsOnlyPaletteColors) {
+  const auto palette = algo_->palette();
+  const auto in_palette = [&](Light l) {
+    return std::find(palette.begin(), palette.end(), l) != palette.end();
+  };
+  const std::vector<Snapshot> snaps = {
+      make_snapshot(Light::kOff, {}),
+      make_snapshot(Light::kOff, {{{1, 0}, Light::kOff}}),
+      make_snapshot(Light::kOff, {{{-2, 0}, Light::kOff}, {{2, 0}, Light::kOff}}),
+      make_snapshot(Light::kInterior, {{{4, 0}, Light::kCorner},
+                                       {{0, 4}, Light::kCorner},
+                                       {{-4, -4}, Light::kCorner}}),
+  };
+  for (const auto& snap : snaps) {
+    EXPECT_TRUE(in_palette(algo_->compute(snap).light));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllAlgorithmsTest,
+                         ::testing::Values("async-log", "seq-baseline",
+                                           "ssync-parallel"));
+
+// --- async-log specific handshake behaviour -------------------------------
+
+// Interior robot surrounded by Corner-lit hull: first activation announces
+// (kTransit, no move); with kTransit already set and no rivals, it moves.
+TEST(CvAsync, TwoPhaseHandshake) {
+  const CompleteVisibilityAsync algo;
+  const std::vector<SnapshotEntry> corners = {{{4, -1}, Light::kCorner},
+                                              {{-4, -1}, Light::kCorner},
+                                              {{0, 6}, Light::kCorner}};
+  // Phase 1: announce without moving.
+  const Action phase1 = algo.compute(make_snapshot(Light::kInterior, corners));
+  EXPECT_FALSE(phase1.moves());
+  EXPECT_EQ(phase1.light, Light::kTransit);
+  // Phase 2: fly through the nearest corner-lit edge (the bottom one),
+  // switching to the flight light.
+  const Action phase2 = algo.compute(make_snapshot(Light::kTransit, corners));
+  EXPECT_TRUE(phase2.moves());
+  EXPECT_EQ(phase2.light, Light::kMoving);
+  EXPECT_LT(phase2.target.y, -1.0);  // Strictly outside the bottom edge.
+}
+
+TEST(CvAsync, InteriorDefersWithoutCornerLitGate) {
+  const CompleteVisibilityAsync algo;
+  const Action a = algo.compute(make_snapshot(
+      Light::kOff, {{{4, -1}, Light::kOff},
+                    {{-4, -1}, Light::kOff},
+                    {{0, 6}, Light::kOff}}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kInterior);
+}
+
+TEST(CvAsync, InteriorAnnouncesEvenWhenGateBusy) {
+  const CompleteVisibilityAsync algo;
+  // A Transit robot is already closest to the bottom edge; announcing
+  // intent is stationary and always safe — only FLIGHT is arbitrated.
+  const Action a = algo.compute(make_snapshot(
+      Light::kInterior, {{{4, -2}, Light::kCorner},
+                         {{-4, -2}, Light::kCorner},
+                         {{0, 6}, Light::kCorner},
+                         {{1, -1.5}, Light::kTransit}}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kTransit);
+}
+
+TEST(CvAsync, RivalOnColumnForcesReplanToClearGate) {
+  const CompleteVisibilityAsync algo;
+  // A Transit rival sits almost exactly on my approach column to the
+  // bottom gate: the corridor check rejects that plan, and the planner
+  // falls through to a slant gate whose path stays clear of the rival.
+  const geom::Vec2 rival{0.02, -1.5};
+  const Action a = algo.compute(make_snapshot(
+      Light::kTransit, {{{4, -2}, Light::kCorner},
+                        {{-4, -2}, Light::kCorner},
+                        {{0, 6}, Light::kCorner},
+                        {rival, Light::kTransit}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kMoving);
+  const geom::Segment flown{geom::Vec2{}, a.target};
+  EXPECT_GT(geom::point_segment_distance(flown, rival), 0.1);
+}
+
+TEST(CvAsync, ColumnBlockedEverywhereWithdraws) {
+  const CompleteVisibilityAsync algo;
+  // Only the bottom gate is eligible (the slant edges share a non-Corner
+  // vertex); a robot parked on my column blocks its corridor, and the
+  // diagonal fallback is triangle-blocked by the same robot: the correct
+  // move is to withdraw the intent entirely.
+  const Action a = algo.compute(make_snapshot(
+      Light::kTransit, {{{4, -2}, Light::kCorner},
+                        {{-4, -2}, Light::kCorner},
+                        {{0, 6}, Light::kInterior},
+                        {{0.02, -1.5}, Light::kMoving}}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kInterior);
+}
+
+TEST(CvAsync, ParallelColumnsFlyConcurrently) {
+  const CompleteVisibilityAsync algo;
+  // A Transit rival on a clearly different column: parallel approach paths
+  // cannot cross, so both may fly.
+  const Action a = algo.compute(make_snapshot(
+      Light::kTransit, {{{4, -1}, Light::kCorner},
+                        {{-4, -1}, Light::kCorner},
+                        {{0, 6}, Light::kCorner},
+                        {{2.0, -0.5}, Light::kTransit}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kMoving);
+}
+
+TEST(CvAsync, TransitWinsAgainstFartherRival) {
+  const CompleteVisibilityAsync algo;
+  // I am closer to the gate than the rival: I fly.
+  const Action a = algo.compute(make_snapshot(
+      Light::kTransit, {{{4, -1}, Light::kCorner},
+                        {{-4, -1}, Light::kCorner},
+                        {{0, 6}, Light::kCorner},
+                        {{0.5, 3.0}, Light::kTransit}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kMoving);
+}
+
+TEST(CvAsync, InteriorDefersWhenCorridorBlockedAndNoOtherGate) {
+  const CompleteVisibilityAsync algo;
+  // An Off robot parks exactly on my approach column, and the slant edges
+  // are ineligible (their shared top vertex is not Corner-lit): no clear
+  // plan, withdraw to kInterior.
+  const Action a = algo.compute(make_snapshot(
+      Light::kInterior, {{{4, -1}, Light::kCorner},
+                         {{-4, -1}, Light::kCorner},
+                         {{0, 6}, Light::kInterior},
+                         {{0.0, -0.5}, Light::kOff}}));
+  EXPECT_FALSE(a.moves());
+  EXPECT_EQ(a.light, Light::kInterior);
+}
+
+TEST(CvAsync, SideRobotPopsOut) {
+  const CompleteVisibilityAsync algo;
+  // On the open interior of the hull edge between (-4,0) and (4,0); third
+  // robot above makes the view 2-D.
+  const Action a = algo.compute(make_snapshot(
+      Light::kOff, {{{-4, 0}, Light::kCorner},
+                    {{4, 0}, Light::kCorner},
+                    {{1, 5}, Light::kCorner}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kMoving);
+  EXPECT_LT(a.target.y, 0.0);  // Away from the interior witness.
+  EXPECT_NEAR(a.target.x, 0.0, 1e-12);
+}
+
+// --- baseline specific ------------------------------------------------------
+
+TEST(SeqBaseline, AnyVisibleTransitFreezesEverything) {
+  const SequentialAsyncBaseline algo;
+  const Action a = algo.compute(make_snapshot(
+      Light::kInterior, {{{4, -1}, Light::kCorner},
+                         {{-4, -1}, Light::kCorner},
+                         {{0, 6}, Light::kCorner},
+                         // Far-away Transit still freezes the baseline.
+                         {{3.99, 5.9}, Light::kTransit}}));
+  EXPECT_FALSE(a.moves());
+}
+
+TEST(SeqBaseline, UniqueCandidateMoves) {
+  const SequentialAsyncBaseline algo;
+  const Action a = algo.compute(make_snapshot(
+      Light::kInterior, {{{4, -1}, Light::kCorner},
+                         {{-4, -1}, Light::kCorner},
+                         {{0, 6}, Light::kCorner}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kTransit);
+}
+
+TEST(SeqBaseline, NonUniqueCandidateDefers) {
+  const SequentialAsyncBaseline algo;
+  // Another interior robot is closer to the boundary: I defer.
+  const Action a = algo.compute(make_snapshot(
+      Light::kInterior, {{{4, -2}, Light::kCorner},
+                         {{-4, -2}, Light::kCorner},
+                         {{0, 6}, Light::kCorner},
+                         {{2, -1.2}, Light::kInterior}}));
+  EXPECT_FALSE(a.moves());
+}
+
+// --- ssync-parallel specific ------------------------------------------------
+
+TEST(SsyncParallel, MovesWithoutHandshake) {
+  const SsyncParallel algo;
+  // No Corner lights needed, no intent phase: straight to the move.
+  const Action a = algo.compute(make_snapshot(
+      Light::kOff, {{{4, -1}, Light::kOff},
+                    {{-4, -1}, Light::kOff},
+                    {{0, 6}, Light::kOff}}));
+  EXPECT_TRUE(a.moves());
+  EXPECT_EQ(a.light, Light::kTransit);
+}
+
+}  // namespace
+}  // namespace lumen::core

@@ -1,0 +1,97 @@
+// Snapshot-fuzz conformance tests: every algorithm's Compute must be total,
+// deterministic, palette-closed, and emit finite targets on ARBITRARY
+// snapshots — including ones no healthy execution would produce (wrong
+// lights on hull corners, coincident entries, mid-protocol states). The
+// engine can hand an algorithm any such snapshot after adversarial
+// interleavings, so robustness here is load-bearing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "model/algorithm.hpp"
+#include "util/prng.hpp"
+
+namespace lumen::core {
+namespace {
+
+using geom::Vec2;
+using model::Light;
+using model::Snapshot;
+
+Snapshot random_snapshot(util::Prng& rng) {
+  Snapshot snap;
+  snap.self_light = model::kAllLights[rng.next_below(model::kLightCount)];
+  const std::size_t n = rng.next_below(24);
+  snap.visible.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 p{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    // Occasionally inject structured degeneracies.
+    if (rng.bernoulli(0.15) && !snap.visible.empty()) {
+      const auto& prev = snap.visible[rng.next_below(snap.visible.size())];
+      if (rng.bernoulli(0.5)) {
+        p = prev.position;  // Coincident robots (a collision state).
+      } else {
+        p = prev.position * rng.uniform(0.1, 2.0);  // Collinear with origin.
+      }
+    }
+    snap.visible.push_back(
+        {p, model::kAllLights[rng.next_below(model::kLightCount)]});
+  }
+  return snap;
+}
+
+class AlgorithmFuzzTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmFuzzTest, TotalDeterministicAndPaletteClosed) {
+  const auto algo = make_algorithm(GetParam());
+  const auto palette = algo->palette();
+  util::Prng rng{2026};
+  for (int iter = 0; iter < 3000; ++iter) {
+    const Snapshot snap = random_snapshot(rng);
+    const auto a = algo->compute(snap);
+    const auto b = algo->compute(snap);
+    // Deterministic.
+    ASSERT_EQ(a.target, b.target) << "iter " << iter;
+    ASSERT_EQ(a.light, b.light) << "iter " << iter;
+    // Finite target.
+    ASSERT_TRUE(std::isfinite(a.target.x) && std::isfinite(a.target.y))
+        << "iter " << iter;
+    // Palette-closed.
+    ASSERT_NE(std::find(palette.begin(), palette.end(), a.light), palette.end())
+        << "iter " << iter;
+    // A move must never aim at a visible robot's exact position (it would
+    // be a guaranteed collision).
+    if (a.moves()) {
+      for (const auto& e : snap.visible) {
+        ASSERT_NE(a.target, e.position) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST_P(AlgorithmFuzzTest, BoundedTargets) {
+  // Targets must stay within a constant factor of the snapshot's extent —
+  // a runaway target would fling robots out of the configuration.
+  const auto algo = make_algorithm(GetParam());
+  util::Prng rng{77};
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Snapshot snap = random_snapshot(rng);
+    double extent = 1.0;
+    for (const auto& e : snap.visible) {
+      extent = std::max(extent, geom::norm(e.position));
+    }
+    const auto action = algo->compute(snap);
+    if (action.moves()) {
+      EXPECT_LE(geom::norm(action.target), 4.0 * extent) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AlgorithmFuzzTest,
+                         ::testing::Values("async-log", "seq-baseline",
+                                           "ssync-parallel"));
+
+}  // namespace
+}  // namespace lumen::core

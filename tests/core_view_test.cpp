@@ -1,0 +1,224 @@
+// LocalView tests: the classification soundness lemma (local role == global
+// role under obstructed visibility), gate selection, and handshake
+// predicates.
+#include "core/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "geom/hull.hpp"
+#include "model/snapshot.hpp"
+#include "util/prng.hpp"
+
+namespace lumen::core {
+namespace {
+
+using geom::Vec2;
+using model::Light;
+
+/// Builds the observer's view of a world configuration with an identity
+/// robot-centered frame and given lights.
+LocalView view_of(const std::vector<Vec2>& world, const std::vector<Light>& lights,
+                  std::size_t observer) {
+  const model::LocalFrame frame{world[observer], 0.0, 1.0, false};
+  return build_view(model::build_snapshot(world, lights, observer, frame));
+}
+
+LocalView view_of(const std::vector<Vec2>& world, std::size_t observer) {
+  return view_of(world, std::vector<Light>(world.size(), Light::kOff), observer);
+}
+
+TEST(BuildView, AloneAndPair) {
+  EXPECT_EQ(view_of({{5, 5}}, 0).role, Role::kAlone);
+  // Two robots: each sees one point -> a "line" with self extreme.
+  EXPECT_EQ(view_of({{0, 0}, {3, 0}}, 0).role, Role::kLineEnd);
+}
+
+TEST(BuildView, TriangleAllCorners) {
+  const std::vector<Vec2> world = {{0, 0}, {4, 0}, {2, 3}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(view_of(world, i).role, Role::kCorner) << i;
+  }
+}
+
+TEST(BuildView, InteriorRobotClassifiesInterior) {
+  const std::vector<Vec2> world = {{0, 0}, {8, 0}, {4, 8}, {4, 2.5}};
+  EXPECT_EQ(view_of(world, 3).role, Role::kInterior);
+  EXPECT_EQ(view_of(world, 0).role, Role::kCorner);
+}
+
+TEST(BuildView, SideRobotOnHullEdge) {
+  const std::vector<Vec2> world = {{0, 0}, {8, 0}, {4, 8}, {4, 0}};
+  EXPECT_EQ(view_of(world, 3).role, Role::kSide);
+}
+
+TEST(BuildView, LineRolesOnExactLine) {
+  std::vector<Vec2> world;
+  for (int i = 0; i < 7; ++i) world.push_back({static_cast<double>(i), 0.0});
+  EXPECT_EQ(view_of(world, 0).role, Role::kLineEnd);
+  EXPECT_EQ(view_of(world, 6).role, Role::kLineEnd);
+  for (std::size_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(view_of(world, i).role, Role::kLine) << i;
+  }
+}
+
+TEST(BuildView, LineRoleSurvivesRandomFrames) {
+  // The tolerant nearly-collinear test must hold under similarity frames.
+  std::vector<Vec2> world;
+  for (int i = 0; i < 9; ++i) world.push_back({1.7 * i, -0.3 * 1.7 * i});
+  const std::vector<Light> lights(world.size(), Light::kOff);
+  util::Prng rng{5};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t observer = 1 + rng.next_below(7);
+    const auto frame = model::LocalFrame::random(world[observer], rng);
+    const auto view =
+        build_view(model::build_snapshot(world, lights, observer, frame));
+    EXPECT_EQ(view.role, Role::kLine) << "trial " << trial;
+  }
+}
+
+// The classification soundness lemma: despite obstruction, a robot's LOCAL
+// role against its visible set equals its GLOBAL role against all robots.
+class ClassificationSoundness
+    : public ::testing::TestWithParam<std::tuple<gen::ConfigFamily, std::size_t>> {};
+
+TEST_P(ClassificationSoundness, LocalRoleMatchesGlobalRole) {
+  const auto [family, n] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto world = gen::generate(family, n, seed);
+    const auto global_hull = geom::convex_hull_indices(world);
+    const bool world_line = geom::all_collinear(world);
+    const auto hull_pts = [&] {
+      std::vector<Vec2> pts;
+      for (const auto i : global_hull) pts.push_back(world[i]);
+      return pts;
+    }();
+    for (std::size_t i = 0; i < world.size(); ++i) {
+      const Role local = view_of(world, i).role;
+      if (world_line) {
+        EXPECT_TRUE(local == Role::kLine || local == Role::kLineEnd) << i;
+        continue;
+      }
+      const auto global_pos = geom::classify_against_hull(hull_pts, world[i]);
+      switch (global_pos) {
+        case geom::HullPosition::kVertex:
+          EXPECT_EQ(local, Role::kCorner) << "robot " << i << " seed " << seed;
+          break;
+        case geom::HullPosition::kEdge:
+          EXPECT_EQ(local, Role::kSide) << "robot " << i << " seed " << seed;
+          break;
+        case geom::HullPosition::kInterior:
+          // Tolerant line classification may fire for nearly-degenerate
+          // local views; interior must never be mistaken for corner/side.
+          EXPECT_TRUE(local == Role::kInterior || local == Role::kLine ||
+                      local == Role::kLineEnd)
+              << "robot " << i << " seed " << seed;
+          break;
+        case geom::HullPosition::kOutside:
+          FAIL() << "world point outside world hull";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSizes, ClassificationSoundness,
+    ::testing::Combine(::testing::Values(gen::ConfigFamily::kUniformDisk,
+                                         gen::ConfigFamily::kGaussianBlob,
+                                         gen::ConfigFamily::kRingWithCore,
+                                         gen::ConfigFamily::kGrid,
+                                         gen::ConfigFamily::kDenseDiameter),
+                       ::testing::Values(std::size_t{8}, std::size_t{32},
+                                         std::size_t{96})));
+
+TEST(GateSelection, NearestHullEdge) {
+  // Observer just above the bottom edge of a square.
+  const std::vector<Vec2> world = {{5, 1}, {0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const auto view = view_of(world, 0);
+  ASSERT_EQ(view.role, Role::kInterior);
+  const auto gate = nearest_hull_edge(view);
+  ASSERT_TRUE(gate.has_value());
+  EXPECT_NEAR(gate->distance, 1.0, 1e-9);
+  // The gate must be the bottom edge (both endpoints have y == -1 in the
+  // observer-centered frame).
+  EXPECT_NEAR(gate->c1.y, -1.0, 1e-9);
+  EXPECT_NEAR(gate->c2.y, -1.0, 1e-9);
+}
+
+TEST(GateSelection, ContainingEdgeForSideRobot) {
+  const std::vector<Vec2> world = {{4, 0}, {0, 0}, {8, 0}, {4, 8}};
+  const auto view = view_of(world, 0);
+  ASSERT_EQ(view.role, Role::kSide);
+  const auto edge = containing_hull_edge(view);
+  ASSERT_TRUE(edge.has_value());
+  // Both endpoints are on the x-axis in local coordinates.
+  EXPECT_NEAR(edge->c1.y, 0.0, 1e-12);
+  EXPECT_NEAR(edge->c2.y, 0.0, 1e-12);
+}
+
+TEST(GateBlocking, CloserRobotInTriangleBlocks) {
+  // Observer at (5,3) (bottom edge nearest); robot at (5,1.5) is in the
+  // triangle between the observer and that edge.
+  const std::vector<Vec2> world = {{5, 3}, {0, 0}, {10, 0}, {5, 10}, {5, 1.5}};
+  const auto view = view_of(world, 0);
+  const auto gate = nearest_hull_edge(view);
+  ASSERT_TRUE(gate.has_value());
+  EXPECT_TRUE(gate_blocked_by_closer_robot(view, *gate));
+}
+
+TEST(GateBlocking, EmptyTriangleDoesNotBlock) {
+  const std::vector<Vec2> world = {{5, 1.5}, {0, 0}, {10, 0}, {5, 10}, {5, 3}};
+  const auto view = view_of(world, 0);
+  const auto gate = nearest_hull_edge(view);
+  ASSERT_TRUE(gate.has_value());
+  EXPECT_FALSE(gate_blocked_by_closer_robot(view, *gate));
+}
+
+TEST(TransitPredicates, TrafficAndProximity) {
+  const std::vector<Vec2> world = {{5, 3}, {0, 0}, {10, 0}, {5, 10}, {5, 1.5}};
+  std::vector<Light> lights(world.size(), Light::kCorner);
+  lights[0] = Light::kInterior;
+  lights[4] = Light::kTransit;
+  const auto view = view_of(world, lights, 0);
+  const auto gate = nearest_hull_edge(view);
+  ASSERT_TRUE(gate.has_value());
+  // The Transit robot at (5,1.5) is nearest to the bottom edge (the
+  // observer's gate): traffic.
+  EXPECT_TRUE(gate_has_transit_traffic(view, *gate));
+  EXPECT_TRUE(transit_within(view, 3.0));
+  EXPECT_FALSE(transit_within(view, 1.0));
+}
+
+TEST(TransitPredicates, NoTrafficWithoutTransitLights) {
+  const std::vector<Vec2> world = {{5, 3}, {0, 0}, {10, 0}, {5, 10}, {5, 1.5}};
+  const auto view = view_of(world, 0);
+  const auto gate = nearest_hull_edge(view);
+  ASSERT_TRUE(gate.has_value());
+  EXPECT_FALSE(gate_has_transit_traffic(view, *gate));
+  EXPECT_FALSE(transit_within(view, 100.0));
+}
+
+TEST(EstimatedExitPath, PointsOutward) {
+  const std::vector<Vec2> world = {{5, 3}, {0, 0}, {10, 0}, {5, 10}, {5, 1.5}};
+  const auto view = view_of(world, 0);
+  // Robot 4 at local (0, -1.5): its nearest edge is the bottom (local
+  // y = -3); the estimated exit path must end strictly below it.
+  const auto path = estimated_exit_path(view, Vec2{0, -1.5});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_LT(path->b.y, -3.0 + 1e-9);
+}
+
+TEST(LocalViewAccessors, HullPointsMatchIndices) {
+  const std::vector<Vec2> world = {{5, 4}, {0, 0}, {10, 0}, {5, 10}};
+  const auto view = view_of(world, 0);
+  const auto hp = view.hull_points();
+  ASSERT_EQ(hp.size(), view.hull.size());
+  for (std::size_t k = 0; k < hp.size(); ++k) {
+    EXPECT_EQ(hp[k], view.pts[view.hull[k]]);
+  }
+  EXPECT_EQ(view.count(), world.size());
+  EXPECT_EQ(view.self(), (Vec2{0, 0}));
+}
+
+}  // namespace
+}  // namespace lumen::core

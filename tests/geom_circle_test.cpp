@@ -1,0 +1,135 @@
+// Circumcircle and smallest-enclosing-circle tests, including the
+// containment/minimality invariants checked against brute force.
+#include "geom/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace lumen::geom {
+namespace {
+
+TEST(Circumcircle, RightTriangle) {
+  // Right triangle: circumcenter is the hypotenuse midpoint.
+  const Circle c = circumcircle({0, 0}, {4, 0}, {0, 3});
+  EXPECT_NEAR(c.center.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.center.y, 1.5, 1e-12);
+  EXPECT_NEAR(c.radius, 2.5, 1e-12);
+}
+
+TEST(Circumcircle, EquidistantFromAllThree) {
+  util::Prng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 b{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Circle c = circumcircle(a, b, p);
+    if (c.radius == 0.0) continue;  // Degenerate draw.
+    EXPECT_NEAR(distance(c.center, a), c.radius, 1e-6);
+    EXPECT_NEAR(distance(c.center, b), c.radius, 1e-6);
+    EXPECT_NEAR(distance(c.center, p), c.radius, 1e-6);
+  }
+}
+
+TEST(Circumcircle, CollinearDegenerates) {
+  const Circle c = circumcircle({0, 0}, {1, 1}, {2, 2});
+  EXPECT_DOUBLE_EQ(c.radius, 0.0);
+  EXPECT_NEAR(c.center.x, 1.0, 1e-12);
+}
+
+TEST(Sec, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(smallest_enclosing_circle({}).radius, 0.0);
+  const std::vector<Vec2> one = {{3, 4}};
+  const Circle c1 = smallest_enclosing_circle(one);
+  EXPECT_EQ(c1.center, (Vec2{3, 4}));
+  EXPECT_DOUBLE_EQ(c1.radius, 0.0);
+  const std::vector<Vec2> two = {{0, 0}, {6, 8}};
+  const Circle c2 = smallest_enclosing_circle(two);
+  EXPECT_NEAR(c2.radius, 5.0, 1e-12);
+  EXPECT_NEAR(c2.center.x, 3.0, 1e-12);
+}
+
+TEST(Sec, ObtuseTriangleUsesLongestSide) {
+  // Very obtuse: the circle through the two far points suffices.
+  const std::vector<Vec2> pts = {{0, 0}, {10, 0}, {5, 0.1}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 5.0, 1e-3);
+}
+
+TEST(Sec, ContainsAllPoints) {
+  util::Prng rng{9};
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 1 + rng.next_below(80);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+    }
+    const Circle c = smallest_enclosing_circle(pts);
+    for (const Vec2 p : pts) {
+      EXPECT_TRUE(c.contains(p, 1e-6 * (1.0 + c.radius)))
+          << "r=" << c.radius << " d=" << distance(c.center, p);
+    }
+  }
+}
+
+TEST(Sec, MinimalityAgainstBruteForce) {
+  // The SEC is determined by <=3 points; brute-force all 2- and 3-subsets
+  // and compare the best enclosing radius.
+  util::Prng rng{13};
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 12; ++i) {
+      pts.push_back({rng.uniform(-50, 50), rng.uniform(-50, 50)});
+    }
+    const Circle fast = smallest_enclosing_circle(pts);
+    double best = std::numeric_limits<double>::infinity();
+    const auto encloses_all = [&](const Circle& c) {
+      for (const Vec2 p : pts) {
+        if (!c.contains(p, 1e-9 * (1 + c.radius))) return false;
+      }
+      return true;
+    };
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        const Circle c2{midpoint(pts[i], pts[j]), 0.5 * distance(pts[i], pts[j])};
+        if (encloses_all(c2)) best = std::min(best, c2.radius);
+        for (std::size_t k = j + 1; k < pts.size(); ++k) {
+          const Circle c3 = circumcircle(pts[i], pts[j], pts[k]);
+          if (c3.radius > 0 && encloses_all(c3)) best = std::min(best, c3.radius);
+        }
+      }
+    }
+    EXPECT_NEAR(fast.radius, best, 1e-6 * (1 + best));
+  }
+}
+
+TEST(Sec, DeterministicAcrossCalls) {
+  util::Prng rng{17};
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  }
+  const Circle a = smallest_enclosing_circle(pts);
+  const Circle b = smallest_enclosing_circle(pts);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.radius, b.radius);
+}
+
+TEST(Circle, BoundaryPredicate) {
+  const Circle c{{0, 0}, 5.0};
+  EXPECT_TRUE(c.on_boundary({3, 4}));
+  EXPECT_FALSE(c.on_boundary({3, 3.9}));
+  EXPECT_TRUE(c.contains({1, 1}));
+  EXPECT_FALSE(c.contains({5, 5}));
+}
+
+TEST(Sec, DuplicatePointsHandled) {
+  const std::vector<Vec2> pts = {{1, 1}, {1, 1}, {1, 1}, {4, 5}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 0.5 * distance({1, 1}, {4, 5}), 1e-9);
+}
+
+}  // namespace
+}  // namespace lumen::geom

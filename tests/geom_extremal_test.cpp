@@ -1,0 +1,112 @@
+// Closest-pair and rotating-calipers tests, validated against brute force.
+#include "geom/extremal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "util/prng.hpp"
+
+namespace lumen::geom {
+namespace {
+
+PointPair brute_closest(std::span<const Vec2> pts) {
+  PointPair best{0, 0, std::numeric_limits<double>::infinity()};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double d = distance(pts[i], pts[j]);
+      if (d < best.distance) best = {i, j, d};
+    }
+  }
+  return best;
+}
+
+PointPair brute_farthest(std::span<const Vec2> pts) {
+  PointPair best{0, 0, 0.0};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double d = distance(pts[i], pts[j]);
+      if (d > best.distance) best = {i, j, d};
+    }
+  }
+  return best;
+}
+
+TEST(ClosestPair, HandConstructed) {
+  const std::vector<Vec2> pts = {{0, 0}, {10, 0}, {10.5, 0}, {5, 8}};
+  const auto p = closest_pair(pts);
+  EXPECT_EQ(p.first, 1u);
+  EXPECT_EQ(p.second, 2u);
+  EXPECT_DOUBLE_EQ(p.distance, 0.5);
+}
+
+TEST(ClosestPair, PairAndTriple) {
+  const std::vector<Vec2> two = {{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(closest_pair(two).distance, 5.0);
+  const std::vector<Vec2> one = {{0, 0}};
+  EXPECT_THROW((void)closest_pair(one), std::invalid_argument);
+}
+
+TEST(ClosestPair, DuplicatePointsGiveZero) {
+  const std::vector<Vec2> pts = {{1, 1}, {5, 5}, {1, 1}};
+  EXPECT_DOUBLE_EQ(closest_pair(pts).distance, 0.0);
+}
+
+TEST(ClosestPair, MatchesBruteForceOnRandom) {
+  util::Prng rng{41};
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 2 + rng.next_below(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+    }
+    EXPECT_DOUBLE_EQ(closest_pair(pts).distance, brute_closest(pts).distance)
+        << "iter " << iter;
+  }
+}
+
+TEST(ClosestPair, VerticalAndHorizontalLines) {
+  std::vector<Vec2> vertical;
+  for (int i = 0; i < 50; ++i) vertical.push_back({0.0, i * 1.5});
+  EXPECT_DOUBLE_EQ(closest_pair(vertical).distance, 1.5);
+  std::vector<Vec2> horizontal;
+  for (int i = 0; i < 50; ++i) horizontal.push_back({i * 2.5, 0.0});
+  EXPECT_DOUBLE_EQ(closest_pair(horizontal).distance, 2.5);
+}
+
+TEST(FarthestPair, HandConstructed) {
+  const std::vector<Vec2> pts = {{0, 0}, {1, 1}, {10, 0}, {5, 2}};
+  const auto p = farthest_pair(pts);
+  EXPECT_EQ(p.first, 0u);
+  EXPECT_EQ(p.second, 2u);
+  EXPECT_DOUBLE_EQ(p.distance, 10.0);
+}
+
+TEST(FarthestPair, MatchesBruteForceOnRandom) {
+  util::Prng rng{43};
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 2 + rng.next_below(150);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+    }
+    EXPECT_NEAR(farthest_pair(pts).distance, brute_farthest(pts).distance,
+                1e-9)
+        << "iter " << iter;
+  }
+}
+
+TEST(FarthestPair, CollinearAndCoincident) {
+  const std::vector<Vec2> line = {{0, 0}, {5, 5}, {9, 9}, {2, 2}};
+  EXPECT_NEAR(farthest_pair(line).distance, distance({0, 0}, {9, 9}), 1e-12);
+  const std::vector<Vec2> same = {{3, 3}, {3, 3}, {3, 3}};
+  EXPECT_DOUBLE_EQ(farthest_pair(same).distance, 0.0);
+}
+
+TEST(FarthestPair, GeneratorFamiliesSanity) {
+  // The diameter of the dense-diameter family is the anchor separation.
+  const auto pts = gen::generate(gen::ConfigFamily::kDenseDiameter, 40, 3);
+  EXPECT_NEAR(farthest_pair(pts).distance, 200.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lumen::geom

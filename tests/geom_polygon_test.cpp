@@ -1,0 +1,111 @@
+// Polygon utility tests.
+#include "geom/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace lumen::geom {
+namespace {
+
+const std::vector<Vec2> kUnitSquare = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+
+TEST(PolygonArea, SquareAndTriangle) {
+  EXPECT_DOUBLE_EQ(polygon_signed_area(kUnitSquare), 1.0);
+  EXPECT_DOUBLE_EQ(polygon_area(kUnitSquare), 1.0);
+  const std::vector<Vec2> tri = {{0, 0}, {4, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(polygon_area(tri), 6.0);
+  // Clockwise orientation flips the sign.
+  const std::vector<Vec2> cw = {{0, 1}, {1, 1}, {1, 0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(polygon_signed_area(cw), -1.0);
+  EXPECT_DOUBLE_EQ(polygon_area(cw), 1.0);
+}
+
+TEST(PolygonArea, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Vec2>{}), 0.0);
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Vec2>{{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Vec2>{{1, 1}, {2, 2}}), 0.0);
+  const std::vector<Vec2> collinear = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_DOUBLE_EQ(polygon_area(collinear), 0.0);
+}
+
+TEST(PolygonCentroid, SquareCenter) {
+  const Vec2 c = polygon_centroid(kUnitSquare);
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 0.5, 1e-12);
+}
+
+TEST(PolygonCentroid, DegenerateFallsBackToVertexMean) {
+  const std::vector<Vec2> collinear = {{0, 0}, {2, 0}, {4, 0}};
+  const Vec2 c = polygon_centroid(collinear);
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+}
+
+TEST(VertexMean, Basic) {
+  EXPECT_EQ(vertex_mean(std::vector<Vec2>{}), (Vec2{0, 0}));
+  const Vec2 m = vertex_mean(kUnitSquare);
+  EXPECT_NEAR(m.x, 0.5, 1e-12);
+  EXPECT_NEAR(m.y, 0.5, 1e-12);
+}
+
+TEST(PolygonConvexity, StrictlyConvexRecognition) {
+  EXPECT_TRUE(polygon_strictly_convex_ccw(kUnitSquare));
+  // Clockwise fails (right turns).
+  const std::vector<Vec2> cw = {{0, 1}, {1, 1}, {1, 0}, {0, 0}};
+  EXPECT_FALSE(polygon_strictly_convex_ccw(cw));
+  // Collinear run fails strictness.
+  const std::vector<Vec2> with_mid = {{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_FALSE(polygon_strictly_convex_ccw(with_mid));
+  // Reflex vertex fails.
+  const std::vector<Vec2> reflex = {{0, 0}, {4, 0}, {2, 1}, {4, 4}, {0, 4}};
+  EXPECT_FALSE(polygon_strictly_convex_ccw(reflex));
+  EXPECT_FALSE(polygon_strictly_convex_ccw(std::vector<Vec2>{{0, 0}, {1, 0}}));
+}
+
+TEST(PolygonContains, StrictContainment) {
+  EXPECT_TRUE(convex_polygon_contains_strict(kUnitSquare, {0.5, 0.5}));
+  EXPECT_FALSE(convex_polygon_contains_strict(kUnitSquare, {0.5, 0.0}));  // On edge.
+  EXPECT_FALSE(convex_polygon_contains_strict(kUnitSquare, {0, 0}));      // Vertex.
+  EXPECT_FALSE(convex_polygon_contains_strict(kUnitSquare, {2, 2}));      // Outside.
+  EXPECT_FALSE(convex_polygon_contains_strict(std::vector<Vec2>{{0, 0}, {1, 0}}, {0.5, 0.0}));
+}
+
+TEST(PolygonPerimeter, SquareAndDegenerate) {
+  EXPECT_DOUBLE_EQ(polygon_perimeter(kUnitSquare), 4.0);
+  EXPECT_DOUBLE_EQ(polygon_perimeter(std::vector<Vec2>{{0, 0}}), 0.0);
+  // A 2-gon traverses the segment twice (closed walk).
+  EXPECT_DOUBLE_EQ(polygon_perimeter(std::vector<Vec2>{{0, 0}, {3, 4}}), 10.0);
+}
+
+TEST(PointSetMetrics, DiameterAndMinDistance) {
+  const std::vector<Vec2> pts = {{0, 0}, {3, 4}, {1, 0}};
+  EXPECT_DOUBLE_EQ(point_set_diameter(pts), 5.0);
+  EXPECT_DOUBLE_EQ(min_pairwise_distance(pts), 1.0);
+  EXPECT_DOUBLE_EQ(point_set_diameter(std::vector<Vec2>{{1, 1}}), 0.0);
+  EXPECT_TRUE(std::isinf(min_pairwise_distance(std::vector<Vec2>{{1, 1}})));
+}
+
+TEST(PolygonCentroid, InsideForRandomConvexPolygons) {
+  util::Prng rng{31};
+  for (int iter = 0; iter < 50; ++iter) {
+    // Random convex polygon: sorted angles on a circle with radial jitter.
+    std::vector<double> angles;
+    const int k = 3 + static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < k; ++i) angles.push_back(rng.uniform(0, 6.283185307179586));
+    std::sort(angles.begin(), angles.end());
+    std::vector<Vec2> poly;
+    for (const double a : angles) {
+      poly.push_back({10 * std::cos(a), 10 * std::sin(a)});
+    }
+    const Vec2 c = polygon_centroid(poly);
+    if (polygon_strictly_convex_ccw(poly)) {
+      EXPECT_TRUE(convex_polygon_contains_strict(poly, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumen::geom

@@ -1,0 +1,149 @@
+// Obstructed-visibility kernel tests: the fast angular-sweep implementation
+// is validated against the brute-force oracle on random and adversarially
+// collinear configurations.
+#include "geom/visibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/hull.hpp"
+#include "util/prng.hpp"
+
+namespace lumen::geom {
+namespace {
+
+TEST(Visibility, TriangleSeesEveryone) {
+  const std::vector<Vec2> pts = {{0, 0}, {4, 0}, {2, 3}};
+  const auto g = compute_visibility(pts);
+  EXPECT_TRUE(g.complete());
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Visibility, MiddleRobotBlocksTheLine) {
+  const std::vector<Vec2> pts = {{0, 0}, {5, 0}, {10, 0}};
+  const auto g = compute_visibility(pts);
+  EXPECT_TRUE(g.sees(0, 1));
+  EXPECT_TRUE(g.sees(1, 2));
+  EXPECT_FALSE(g.sees(0, 2));
+  EXPECT_FALSE(g.complete());
+  EXPECT_TRUE(complete_visibility(std::vector<Vec2>{{0, 0}, {5, 0}}));
+  EXPECT_FALSE(complete_visibility(pts));
+}
+
+TEST(Visibility, LongLineSeesOnlyNeighbors) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const auto g = compute_visibility(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::size_t expected = (i == 0 || i == 9) ? 1 : 2;
+    EXPECT_EQ(g.degree(i), expected) << i;
+  }
+}
+
+TEST(Visibility, NearestOnRayWinsBothSides) {
+  // Four robots on a vertical ray from the observer plus the observer: the
+  // observer sees only the nearest above and the nearest below.
+  const std::vector<Vec2> pts = {{0, 0}, {0, 2}, {0, 5}, {0, -1}, {0, -7}};
+  const auto vis = visible_from(pts, 0);
+  EXPECT_EQ(vis.size(), 2u);
+  const auto g = compute_visibility(pts);
+  EXPECT_TRUE(g.sees(0, 1));
+  EXPECT_FALSE(g.sees(0, 2));
+  EXPECT_TRUE(g.sees(0, 3));
+  EXPECT_FALSE(g.sees(0, 4));
+}
+
+TEST(Visibility, SymmetryOfFastKernel) {
+  util::Prng rng{21};
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10)});
+  }
+  const auto g = compute_visibility(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_EQ(g.sees(i, j), g.sees(j, i));
+    }
+  }
+}
+
+TEST(Visibility, FastMatchesNaiveOnRandomConfigs) {
+  util::Prng rng{33};
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 2 + rng.next_below(50);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-20, 20), rng.uniform(-20, 20)});
+    }
+    const auto fast = compute_visibility(pts);
+    const auto slow = compute_visibility_naive(pts);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(fast.sees(i, j), slow.sees(i, j)) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(Visibility, FastMatchesNaiveOnCollinearClusters) {
+  // Adversarial: many exactly-collinear runs through shared points.
+  std::vector<Vec2> pts;
+  for (int i = -3; i <= 3; ++i) {
+    pts.push_back({static_cast<double>(i), 0.0});                   // Horizontal.
+    pts.push_back({0.0, static_cast<double>(i)});                   // Vertical.
+    pts.push_back({static_cast<double>(i), static_cast<double>(i)});  // Diagonal.
+  }
+  const auto fast = compute_visibility(pts);
+  const auto slow = compute_visibility_naive(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      ASSERT_EQ(fast.sees(i, j), slow.sees(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(Visibility, CoincidentRobotsNeverSeeEachOther) {
+  const std::vector<Vec2> pts = {{1, 1}, {1, 1}, {5, 5}};
+  const auto g = compute_visibility(pts);
+  EXPECT_FALSE(g.sees(0, 1));
+  EXPECT_FALSE(complete_visibility(pts));
+}
+
+TEST(Visibility, StrictConvexPositionImpliesComplete) {
+  util::Prng rng{44};
+  for (int iter = 0; iter < 20; ++iter) {
+    // Points on a circle at sorted distinct angles: strictly convex.
+    std::vector<double> angles;
+    const int k = 3 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < k; ++i) angles.push_back(rng.uniform(0, 6.28318));
+    std::sort(angles.begin(), angles.end());
+    angles.erase(std::unique(angles.begin(), angles.end()), angles.end());
+    std::vector<Vec2> pts;
+    for (const double a : angles) {
+      pts.push_back({50 * std::cos(a), 50 * std::sin(a)});
+    }
+    if (!points_in_strictly_convex_position(pts)) continue;  // Rounding fluke.
+    EXPECT_TRUE(complete_visibility(pts));
+  }
+}
+
+TEST(Visibility, EdgeCountAndDegreeBookkeeping) {
+  const std::vector<Vec2> pts = {{0, 0}, {5, 0}, {10, 0}};
+  const auto g = compute_visibility(pts);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.size(), 3u);
+  const VisibilityGraph empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.complete());  // Vacuously.
+}
+
+TEST(Visibility, SingleAndEmpty) {
+  EXPECT_TRUE(complete_visibility(std::vector<Vec2>{}));
+  EXPECT_TRUE(complete_visibility(std::vector<Vec2>{{1, 2}}));
+}
+
+}  // namespace
+}  // namespace lumen::geom

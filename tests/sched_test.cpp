@@ -1,0 +1,170 @@
+// Scheduler-substrate tests: adversary determinism and ranges, activation
+// policy contracts, and the epoch timeline reconstruction.
+#include "sched/activation.hpp"
+#include "sched/adversary.hpp"
+#include "sched/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/prng.hpp"
+
+namespace lumen::sched {
+namespace {
+
+class AdversaryContractTest : public ::testing::TestWithParam<AdversaryKind> {};
+
+TEST_P(AdversaryContractTest, TimingsArePositiveAndFinite) {
+  const auto adversary = make_adversary(GetParam());
+  util::Prng rng{42};
+  for (std::size_t robot = 0; robot < 8; ++robot) {
+    for (std::uint64_t cycle = 0; cycle < 500; ++cycle) {
+      const PhaseTiming t = adversary->sample(robot, cycle, rng);
+      EXPECT_GT(t.wait, 0.0);
+      EXPECT_GT(t.compute, 0.0);
+      EXPECT_GT(t.move_duration, 0.0);
+      EXPECT_TRUE(std::isfinite(t.wait + t.compute + t.move_duration));
+    }
+  }
+}
+
+TEST_P(AdversaryContractTest, DeterministicGivenSameStream) {
+  const auto adversary = make_adversary(GetParam());
+  util::Prng rng1{7}, rng2{7};
+  for (int i = 0; i < 100; ++i) {
+    const PhaseTiming a = adversary->sample(3, static_cast<std::uint64_t>(i), rng1);
+    const PhaseTiming b = adversary->sample(3, static_cast<std::uint64_t>(i), rng2);
+    EXPECT_EQ(a.wait, b.wait);
+    EXPECT_EQ(a.compute, b.compute);
+    EXPECT_EQ(a.move_duration, b.move_duration);
+  }
+}
+
+TEST_P(AdversaryContractTest, KindRoundTrips) {
+  const auto adversary = make_adversary(GetParam());
+  EXPECT_EQ(adversary->kind(), GetParam());
+  EXPECT_NE(to_string(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdversaries, AdversaryContractTest,
+                         ::testing::Values(AdversaryKind::kUniform,
+                                           AdversaryKind::kBursty,
+                                           AdversaryKind::kStallOne,
+                                           AdversaryKind::kLockstep));
+
+TEST(StallOneAdversary, RobotZeroIsSlower) {
+  const auto adversary = make_adversary(AdversaryKind::kStallOne);
+  util::Prng rng{1};
+  double slow_sum = 0.0, fast_sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    slow_sum += adversary->sample(0, 0, rng).wait;
+    fast_sum += adversary->sample(1, 0, rng).wait;
+  }
+  EXPECT_GT(slow_sum, 5.0 * fast_sum);
+}
+
+class ActivationContractTest : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(ActivationContractTest, NonEmptySortedUniqueInRange) {
+  const auto policy = make_activation(GetParam());
+  util::Prng rng{9};
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    const auto active = policy->activate(13, round, rng);
+    ASSERT_FALSE(active.empty());
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      EXPECT_LT(active[k], 13u);
+      if (k > 0) {
+        EXPECT_LT(active[k - 1], active[k]);
+      }
+    }
+  }
+}
+
+TEST_P(ActivationContractTest, FairnessEveryRobotActivatedEventually) {
+  const auto policy = make_activation(GetParam());
+  util::Prng rng{10};
+  std::set<std::size_t> seen;
+  for (std::uint64_t round = 0; round < 2000 && seen.size() < 9; ++round) {
+    for (const auto r : policy->activate(9, round, rng)) seen.insert(r);
+  }
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ActivationContractTest,
+                         ::testing::Values(ActivationKind::kAll,
+                                           ActivationKind::kRandomHalf,
+                                           ActivationKind::kSingleton,
+                                           ActivationKind::kRandomSingle));
+
+TEST(ActivationPolicies, AllActivatesEveryone) {
+  const auto policy = make_activation(ActivationKind::kAll);
+  util::Prng rng{1};
+  EXPECT_EQ(policy->activate(5, 0, rng).size(), 5u);
+}
+
+TEST(ActivationPolicies, SingletonIsRoundRobin) {
+  const auto policy = make_activation(ActivationKind::kSingleton);
+  util::Prng rng{1};
+  for (std::uint64_t round = 0; round < 10; ++round) {
+    const auto active = policy->activate(4, round, rng);
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0], round % 4);
+  }
+}
+
+TEST(EpochTimeline, FsyncLikeRoundsCountExactly) {
+  // 3 robots, each completes a cycle in every unit interval.
+  EpochTimeline tl(3);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      tl.add_cycle({r, static_cast<double>(round), static_cast<double>(round) + 1});
+    }
+  }
+  EXPECT_EQ(tl.count_epochs(5.0), 5u);
+  EXPECT_EQ(tl.count_epochs(2.5), 2u);
+  EXPECT_EQ(tl.cycle_count(), 15u);
+}
+
+TEST(EpochTimeline, SlowRobotStretchesEpochs) {
+  // Robot 0 cycles at 10x the period of robot 1: epochs follow robot 0.
+  EpochTimeline tl(2);
+  for (int i = 0; i < 4; ++i) {
+    tl.add_cycle({0, 10.0 * i, 10.0 * (i + 1)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    tl.add_cycle({1, 1.0 * i, 1.0 * (i + 1)});
+  }
+  EXPECT_EQ(tl.count_epochs(40.0), 4u);
+}
+
+TEST(EpochTimeline, EpochRequiresCycleStartedInside) {
+  // One robot's only cycle spans [0, 8]; the other cycles fast. The first
+  // epoch ends at 8; afterwards no further epoch can complete.
+  EpochTimeline tl(2);
+  tl.add_cycle({0, 0.0, 8.0});
+  for (int i = 0; i < 10; ++i) {
+    tl.add_cycle({1, 1.0 * i, 1.0 * (i + 1)});
+  }
+  const auto bounds = tl.epoch_boundaries(10.0);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(bounds[0], 8.0);
+}
+
+TEST(EpochTimeline, RejectsOutOfRangeAndOutOfOrder) {
+  EpochTimeline tl(2);
+  EXPECT_THROW(tl.add_cycle({5, 0.0, 1.0}), std::out_of_range);
+  tl.add_cycle({0, 5.0, 6.0});
+  EXPECT_THROW(tl.add_cycle({0, 4.0, 4.5}), std::invalid_argument);
+}
+
+TEST(EpochTimeline, EmptyTimelineHasNoEpochs) {
+  EpochTimeline tl(2);
+  EXPECT_EQ(tl.count_epochs(100.0), 0u);
+  EpochTimeline none(0);
+  EXPECT_EQ(none.count_epochs(100.0), 0u);
+}
+
+}  // namespace
+}  // namespace lumen::sched

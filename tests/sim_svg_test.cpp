@@ -1,0 +1,92 @@
+// SVG renderer tests: structural checks on the emitted document.
+#include "sim/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/registry.hpp"
+#include "gen/generators.hpp"
+
+namespace lumen::sim {
+namespace {
+
+RunResult small_run() {
+  const auto algo = core::make_algorithm("async-log");
+  const auto initial = gen::generate(gen::ConfigFamily::kUniformDisk, 12, 3);
+  RunConfig config;
+  config.seed = 3;
+  return run_simulation(*algo, initial, config);
+}
+
+TEST(Svg, WellFormedDocumentWithAllLayers) {
+  const auto run = small_run();
+  const std::string svg = render_svg(run);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One filled circle per robot plus hollow initial markers.
+  std::size_t circles = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 2 * run.final_positions.size());
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);  // Final hull.
+  if (!run.moves.empty()) {
+    EXPECT_NE(svg.find("<line"), std::string::npos);  // Motion paths.
+  }
+}
+
+TEST(Svg, OptionsSuppressLayers) {
+  const auto run = small_run();
+  SvgOptions options;
+  options.draw_paths = false;
+  options.draw_hull = false;
+  options.draw_initial = false;
+  const std::string svg = render_svg(run, options);
+  EXPECT_EQ(svg.find("<line"), std::string::npos);
+  EXPECT_EQ(svg.find("<polygon"), std::string::npos);
+  std::size_t circles = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, run.final_positions.size());
+}
+
+TEST(Svg, HandlesEmptyRun) {
+  const RunResult empty;
+  const std::string svg = render_svg(empty);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, SaveWritesFile) {
+  const auto run = small_run();
+  const std::string path = ::testing::TempDir() + "/lumen_svg_test.svg";
+  ASSERT_TRUE(save_svg(run, path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first_line;
+  std::getline(f, first_line);
+  EXPECT_EQ(first_line.rfind("<svg", 0), 0u);
+  EXPECT_FALSE(save_svg(run, "/nonexistent-dir-xyz/x.svg"));
+}
+
+TEST(Svg, CoordinatesStayInViewport) {
+  const auto run = small_run();
+  SvgOptions options;
+  options.width = 400;
+  options.height = 300;
+  const std::string svg = render_svg(run, options);
+  // Parse all cx= values and check bounds.
+  for (std::size_t pos = 0; (pos = svg.find("cx='", pos)) != std::string::npos;) {
+    pos += 4;
+    const double cx = std::stod(svg.substr(pos));
+    EXPECT_GE(cx, 0.0);
+    EXPECT_LE(cx, 400.0);
+  }
+}
+
+}  // namespace
+}  // namespace lumen::sim

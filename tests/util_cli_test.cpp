@@ -1,0 +1,115 @@
+// CLI parser tests.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace lumen::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.flag("n", "count", "32")
+      .flag("rate", "a rate", "1.5")
+      .flag("name", "a string", "default")
+      .flag("verbose", "a boolean", "false")
+      .flag("list", "comma ints", "1,2,3");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 32);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.is_set("n"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--n=64", "--rate=2.25", "--name=abc"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 64);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.25);
+  EXPECT_EQ(cli.get("name"), "abc");
+  EXPECT_TRUE(cli.is_set("n"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--n", "128"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("n"), 128);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagIsError) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "input.txt", "--n=2", "more"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.help_requested());
+  const std::string usage = cli.usage("prog", "test program");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("count"), std::string::npos);
+}
+
+TEST(Cli, IntListParsing) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--list=8,16,32"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  const auto xs = cli.get_int_list("list");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs[0], 8);
+  EXPECT_EQ(xs[2], 32);
+}
+
+TEST(Cli, IntListDefault) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_EQ(cli.get_int_list("list").size(), 3u);
+}
+
+TEST(Cli, BoolTruthyValues) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--verbose=yes"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnregisteredGetReturnsEmpty) {
+  Cli cli = make_cli();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_EQ(cli.get("nothing"), "");
+  EXPECT_EQ(cli.get_int("nothing"), 0);
+}
+
+}  // namespace
+}  // namespace lumen::util

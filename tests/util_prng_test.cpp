@@ -1,0 +1,164 @@
+// PRNG tests: determinism, stream independence, distributional sanity.
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace lumen::util {
+namespace {
+
+TEST(Prng, DeterministicPerSeed) {
+  Prng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a{123}, b{124};
+  std::size_t same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng rng{7};
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, UniformRespectsBounds) {
+  Prng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.5, 12.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 12.25);
+  }
+}
+
+TEST(Prng, UniformMeanIsCentered) {
+  Prng rng{99};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Prng, NextBelowIsUnbiasedOverSmallModulus) {
+  Prng rng{5};
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Prng, NextBelowEdgeCases) {
+  Prng rng{5};
+  EXPECT_EQ(rng.next_below(0), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Prng, UniformIntInclusiveRange) {
+  Prng rng{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  EXPECT_EQ(rng.uniform_int(9, 3), 9);  // Degenerate bounds collapse to lo.
+}
+
+TEST(Prng, NormalMomentsApproximatelyStandard) {
+  Prng rng{11};
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Prng, ExponentialMeanMatchesRate) {
+  Prng rng{13};
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Prng, SplitStreamsAreIndependentAndStable) {
+  const Prng base{42};
+  Prng c1 = base.split("alpha");
+  Prng c2 = base.split("beta");
+  Prng c1_again = base.split("alpha");
+  bool all_same = true;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = c1();
+    const auto b = c2();
+    if (a != b) all_same = false;
+    EXPECT_EQ(a, c1_again());
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Prng, SplitDoesNotAdvanceParent) {
+  Prng a{42};
+  Prng b{42};
+  (void)a.split("child");
+  (void)a.split(std::uint64_t{99});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Prng rng{17};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Prng, BernoulliFrequency) {
+  Prng rng{21};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Fnv1a, StableKnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a("alpha"), fnv1a("beta"));
+}
+
+}  // namespace
+}  // namespace lumen::util

@@ -1,0 +1,91 @@
+// Thread pool tests: correctness of parallel_for, exception propagation,
+// and determinism of campaign-style usage (order-independent reductions).
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lumen::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForWithGrain) {
+  ThreadPool pool{3};
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); }, 16);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool{2};
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool{1};
+  std::atomic<int> n{0};
+  pool.parallel_for(50, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool remains usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool{2};
+  std::atomic<int> n{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&n] { n.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 20);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(ThreadPool, OrderIndependentReductionMatchesSerial) {
+  // The campaign pattern: per-index slots written in parallel equal the
+  // serial result exactly.
+  ThreadPool pool{8};
+  std::vector<double> parallel_out(500), serial_out(500);
+  const auto work = [](std::size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 50; ++k) x = x * 1.000001 + 0.5;
+    return x;
+  };
+  pool.parallel_for(500, [&](std::size_t i) { parallel_out[i] = work(i); });
+  for (std::size_t i = 0; i < 500; ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace
+}  // namespace lumen::util
