@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collinear_rescue.dir/collinear_rescue.cpp.o"
+  "CMakeFiles/collinear_rescue.dir/collinear_rescue.cpp.o.d"
+  "collinear_rescue"
+  "collinear_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collinear_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

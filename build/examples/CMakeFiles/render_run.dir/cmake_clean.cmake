@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_run.dir/render_run.cpp.o"
+  "CMakeFiles/render_run.dir/render_run.cpp.o.d"
+  "render_run"
+  "render_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_analysis.dir/campaign.cpp.o"
+  "CMakeFiles/lumen_analysis.dir/campaign.cpp.o.d"
+  "liblumen_analysis.a"
+  "liblumen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_sequential.cpp" "src/core/CMakeFiles/lumen_core.dir/baseline_sequential.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/baseline_sequential.cpp.o.d"
+  "/root/repo/src/core/beacon.cpp" "src/core/CMakeFiles/lumen_core.dir/beacon.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/beacon.cpp.o.d"
+  "/root/repo/src/core/cv_async.cpp" "src/core/CMakeFiles/lumen_core.dir/cv_async.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/cv_async.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/lumen_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/ssync_parallel.cpp" "src/core/CMakeFiles/lumen_core.dir/ssync_parallel.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/ssync_parallel.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "src/core/CMakeFiles/lumen_core.dir/view.cpp.o" "gcc" "src/core/CMakeFiles/lumen_core.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/lumen_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lumen_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

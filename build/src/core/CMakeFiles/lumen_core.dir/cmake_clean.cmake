@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_core.dir/baseline_sequential.cpp.o"
+  "CMakeFiles/lumen_core.dir/baseline_sequential.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/beacon.cpp.o"
+  "CMakeFiles/lumen_core.dir/beacon.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/cv_async.cpp.o"
+  "CMakeFiles/lumen_core.dir/cv_async.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/registry.cpp.o"
+  "CMakeFiles/lumen_core.dir/registry.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/ssync_parallel.cpp.o"
+  "CMakeFiles/lumen_core.dir/ssync_parallel.cpp.o.d"
+  "CMakeFiles/lumen_core.dir/view.cpp.o"
+  "CMakeFiles/lumen_core.dir/view.cpp.o.d"
+  "liblumen_core.a"
+  "liblumen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

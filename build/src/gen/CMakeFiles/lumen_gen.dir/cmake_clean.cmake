@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_gen.dir/generators.cpp.o"
+  "CMakeFiles/lumen_gen.dir/generators.cpp.o.d"
+  "liblumen_gen.a"
+  "liblumen_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

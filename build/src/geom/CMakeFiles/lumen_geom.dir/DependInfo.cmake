@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/circle.cpp" "src/geom/CMakeFiles/lumen_geom.dir/circle.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/circle.cpp.o.d"
+  "/root/repo/src/geom/extremal.cpp" "src/geom/CMakeFiles/lumen_geom.dir/extremal.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/extremal.cpp.o.d"
+  "/root/repo/src/geom/hull.cpp" "src/geom/CMakeFiles/lumen_geom.dir/hull.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/hull.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/lumen_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/lumen_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/predicates.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/geom/CMakeFiles/lumen_geom.dir/segment.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/segment.cpp.o.d"
+  "/root/repo/src/geom/visibility.cpp" "src/geom/CMakeFiles/lumen_geom.dir/visibility.cpp.o" "gcc" "src/geom/CMakeFiles/lumen_geom.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_geom.dir/circle.cpp.o"
+  "CMakeFiles/lumen_geom.dir/circle.cpp.o.d"
+  "CMakeFiles/lumen_geom.dir/extremal.cpp.o"
+  "CMakeFiles/lumen_geom.dir/extremal.cpp.o.d"
+  "CMakeFiles/lumen_geom.dir/hull.cpp.o"
+  "CMakeFiles/lumen_geom.dir/hull.cpp.o.d"
+  "CMakeFiles/lumen_geom.dir/polygon.cpp.o"
+  "CMakeFiles/lumen_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/lumen_geom.dir/predicates.cpp.o"
+  "CMakeFiles/lumen_geom.dir/predicates.cpp.o.d"
+  "CMakeFiles/lumen_geom.dir/segment.cpp.o"
+  "CMakeFiles/lumen_geom.dir/segment.cpp.o.d"
+  "CMakeFiles/lumen_geom.dir/visibility.cpp.o"
+  "CMakeFiles/lumen_geom.dir/visibility.cpp.o.d"
+  "liblumen_geom.a"
+  "liblumen_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

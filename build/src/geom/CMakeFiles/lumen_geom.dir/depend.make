@@ -1,0 +1,2 @@
+# Empty dependencies file for lumen_geom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_model.dir/frame.cpp.o"
+  "CMakeFiles/lumen_model.dir/frame.cpp.o.d"
+  "CMakeFiles/lumen_model.dir/snapshot.cpp.o"
+  "CMakeFiles/lumen_model.dir/snapshot.cpp.o.d"
+  "liblumen_model.a"
+  "liblumen_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/activation.cpp" "src/sched/CMakeFiles/lumen_sched.dir/activation.cpp.o" "gcc" "src/sched/CMakeFiles/lumen_sched.dir/activation.cpp.o.d"
+  "/root/repo/src/sched/adversary.cpp" "src/sched/CMakeFiles/lumen_sched.dir/adversary.cpp.o" "gcc" "src/sched/CMakeFiles/lumen_sched.dir/adversary.cpp.o.d"
+  "/root/repo/src/sched/epoch.cpp" "src/sched/CMakeFiles/lumen_sched.dir/epoch.cpp.o" "gcc" "src/sched/CMakeFiles/lumen_sched.dir/epoch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_sched.dir/activation.cpp.o"
+  "CMakeFiles/lumen_sched.dir/activation.cpp.o.d"
+  "CMakeFiles/lumen_sched.dir/adversary.cpp.o"
+  "CMakeFiles/lumen_sched.dir/adversary.cpp.o.d"
+  "CMakeFiles/lumen_sched.dir/epoch.cpp.o"
+  "CMakeFiles/lumen_sched.dir/epoch.cpp.o.d"
+  "liblumen_sched.a"
+  "liblumen_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/lumen_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/lumen_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/monitors.cpp" "src/sim/CMakeFiles/lumen_sim.dir/monitors.cpp.o" "gcc" "src/sim/CMakeFiles/lumen_sim.dir/monitors.cpp.o.d"
+  "/root/repo/src/sim/svg.cpp" "src/sim/CMakeFiles/lumen_sim.dir/svg.cpp.o" "gcc" "src/sim/CMakeFiles/lumen_sim.dir/svg.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/lumen_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/lumen_sim.dir/trace_io.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/sim/CMakeFiles/lumen_sim.dir/trajectory.cpp.o" "gcc" "src/sim/CMakeFiles/lumen_sim.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/lumen_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lumen_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lumen_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

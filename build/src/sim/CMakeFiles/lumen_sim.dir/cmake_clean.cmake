@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_sim.dir/engine.cpp.o"
+  "CMakeFiles/lumen_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/lumen_sim.dir/monitors.cpp.o"
+  "CMakeFiles/lumen_sim.dir/monitors.cpp.o.d"
+  "CMakeFiles/lumen_sim.dir/svg.cpp.o"
+  "CMakeFiles/lumen_sim.dir/svg.cpp.o.d"
+  "CMakeFiles/lumen_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/lumen_sim.dir/trace_io.cpp.o.d"
+  "CMakeFiles/lumen_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/lumen_sim.dir/trajectory.cpp.o.d"
+  "liblumen_sim.a"
+  "liblumen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

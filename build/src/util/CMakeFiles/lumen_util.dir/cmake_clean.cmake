@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumen_util.dir/cli.cpp.o"
+  "CMakeFiles/lumen_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lumen_util.dir/log.cpp.o"
+  "CMakeFiles/lumen_util.dir/log.cpp.o.d"
+  "CMakeFiles/lumen_util.dir/prng.cpp.o"
+  "CMakeFiles/lumen_util.dir/prng.cpp.o.d"
+  "CMakeFiles/lumen_util.dir/stats.cpp.o"
+  "CMakeFiles/lumen_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lumen_util.dir/table.cpp.o"
+  "CMakeFiles/lumen_util.dir/table.cpp.o.d"
+  "CMakeFiles/lumen_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lumen_util.dir/thread_pool.cpp.o.d"
+  "liblumen_util.a"
+  "liblumen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

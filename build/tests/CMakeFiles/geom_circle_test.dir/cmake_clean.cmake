@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_circle_test.dir/geom_circle_test.cpp.o"
+  "CMakeFiles/geom_circle_test.dir/geom_circle_test.cpp.o.d"
+  "geom_circle_test"
+  "geom_circle_test.pdb"
+  "geom_circle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_circle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_extremal_test.dir/geom_extremal_test.cpp.o"
+  "CMakeFiles/geom_extremal_test.dir/geom_extremal_test.cpp.o.d"
+  "geom_extremal_test"
+  "geom_extremal_test.pdb"
+  "geom_extremal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_extremal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_hull_test.dir/geom_hull_test.cpp.o"
+  "CMakeFiles/geom_hull_test.dir/geom_hull_test.cpp.o.d"
+  "geom_hull_test"
+  "geom_hull_test.pdb"
+  "geom_hull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_hull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

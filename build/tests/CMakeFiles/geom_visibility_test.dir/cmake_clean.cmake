@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_visibility_test.dir/geom_visibility_test.cpp.o"
+  "CMakeFiles/geom_visibility_test.dir/geom_visibility_test.cpp.o.d"
+  "geom_visibility_test"
+  "geom_visibility_test.pdb"
+  "geom_visibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_visibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

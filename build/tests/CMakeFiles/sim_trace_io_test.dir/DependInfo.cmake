@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_trace_io_test.cpp" "tests/CMakeFiles/sim_trace_io_test.dir/sim_trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/sim_trace_io_test.dir/sim_trace_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lumen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lumen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lumen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/lumen_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lumen_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lumen_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lumen_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

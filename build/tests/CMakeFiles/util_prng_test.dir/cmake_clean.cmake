@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_prng_test.dir/util_prng_test.cpp.o"
+  "CMakeFiles/util_prng_test.dir/util_prng_test.cpp.o.d"
+  "util_prng_test"
+  "util_prng_test.pdb"
+  "util_prng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_prng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_prng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_table_test[1]_include.cmake")
+include("/root/repo/build/tests/util_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/util_thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_vec2_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_predicates_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_segment_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_hull_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_polygon_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_circle_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_visibility_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_extremal_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trajectory_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_monitors_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_svg_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_view_test[1]_include.cmake")
+include("/root/repo/build/tests/core_beacon_test[1]_include.cmake")
+include("/root/repo/build/tests/core_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/property_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
