@@ -3,7 +3,12 @@
 // Throughput of the kernels everything else is built on: robust orientation
 // predicate (filtered vs forced-exact), convex hull, obstructed-visibility
 // sweep (vs the O(n^3) oracle), smallest enclosing circle, snapshot
-// construction, and one full ASYNC engine run per size.
+// construction (allocating vs scratch-reusing, with a heap-allocation
+// counter), and one full ASYNC engine run per size.
+//
+// Output: unless --benchmark_out is passed explicitly, results are also
+// written as machine-readable JSON to bench_micro.json (console output
+// stays human-readable); CI archives the JSON artifact.
 #include <benchmark/benchmark.h>
 
 #include "core/registry.hpp"
@@ -15,6 +20,48 @@
 #include "model/snapshot.hpp"
 #include "sim/run.hpp"
 #include "util/prng.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Heap-allocation counter for the zero-allocation claims: every global new
+// in this binary bumps the counter; benchmarks report the per-iteration
+// delta as a counter column (and in the JSON).
+namespace {
+std::size_t g_alloc_count = 0;
+}  // namespace
+
+// GCC inlines these replacements into google-benchmark's static
+// initializers and then flags free() on a new-pointer; the malloc/free
+// pairing across the replaced operators is intentional.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -96,12 +143,38 @@ void BM_BuildSnapshot(benchmark::State& state) {
                                                 lumen::model::Light::kOff);
   lumen::util::Prng rng{6};
   const auto frame = lumen::model::LocalFrame::random(pts[0], rng);
+  const std::size_t allocs_before = g_alloc_count;
   for (auto _ : state) {
     auto snap = lumen::model::build_snapshot(pts, lights, 0, frame);
     benchmark::DoNotOptimize(snap);
   }
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count - allocs_before) /
+      static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_BuildSnapshot)->Range(32, 1024);
+
+void BM_BuildSnapshotScratch(benchmark::State& state) {
+  // The engine's steady-state Look path: warmed scratch buffers, zero heap
+  // traffic (the counter column proves it).
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 5);
+  const std::vector<lumen::model::Light> lights(pts.size(),
+                                                lumen::model::Light::kOff);
+  lumen::util::Prng rng{6};
+  const auto frame = lumen::model::LocalFrame::random(pts[0], rng);
+  lumen::model::SnapshotScratch scratch;
+  lumen::model::Snapshot snap;
+  lumen::model::build_snapshot(pts, lights, 0, frame, scratch, snap);  // Warm.
+  const std::size_t allocs_before = g_alloc_count;
+  for (auto _ : state) {
+    lumen::model::build_snapshot(pts, lights, 0, frame, scratch, snap);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count - allocs_before) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BuildSnapshotScratch)->Range(32, 1024);
 
 void BM_FullAsyncRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -120,4 +193,27 @@ BENCHMARK(BM_FullAsyncRun)->RangeMultiplier(2)->Range(16, 64)->Unit(benchmark::k
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default to ALSO writing JSON (bench_micro.json) so the
+// results are machine-readable without extra flags; any explicit
+// --benchmark_out takes precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=bench_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "core/registry.hpp"
 #include "sim/monitors.hpp"
+#include "sim/streaming_collision.hpp"
 
 #include <algorithm>
 
@@ -62,7 +63,16 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
         gen::generate(spec.family, spec.n, seed, spec.min_separation);
     sim::RunConfig config = spec.run;
     config.seed = seed;
-    const auto run = sim::run_simulation(*algorithm, initial, config);
+    // Campaigns only reduce to metrics, so nothing needs the move log: the
+    // collision audit streams over the run instead of replaying a retained
+    // log, and per-run memory stays independent of run length.
+    config.record_moves = false;
+    sim::StreamingCollisionMonitor monitor(spec.collision_tolerance);
+    sim::RunObserver* observers[] = {&monitor};
+    const auto run =
+        spec.audit_collisions
+            ? sim::run_simulation(*algorithm, initial, config, observers)
+            : sim::run_simulation(*algorithm, initial, config);
 
     RunMetrics m;
     m.seed = seed;
@@ -75,9 +85,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
     m.visibility_ok =
         sim::verify_complete_visibility(run.final_positions).complete();
     if (spec.audit_collisions) {
-      const auto report =
-          sim::check_collisions(run.initial_positions, run.moves, run.final_time,
-                                spec.collision_tolerance);
+      const sim::CollisionReport& report = monitor.report();
       m.collision_free = report.hazard_free(1e-9);
       m.min_observed_separation = report.min_separation;
       m.path_crossings = report.path_crossings;

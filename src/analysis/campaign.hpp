@@ -28,7 +28,9 @@ struct CampaignSpec {
   std::size_t runs = 20;           ///< Number of seeds.
   std::uint64_t seed_base = 1;     ///< Run i uses seed seed_base + i.
   double min_separation = 1e-3;
-  bool audit_collisions = true;    ///< O(N^2)-ish post-check; off for big sweeps.
+  /// Streaming continuous collision audit (StreamingCollisionMonitor);
+  /// off for big sweeps where only convergence metrics matter.
+  bool audit_collisions = true;
   double collision_tolerance = 0.0;
 };
 

@@ -41,6 +41,32 @@ Role line_role(const std::vector<Vec2>& pts) {
   return (has_positive && has_negative) ? Role::kLine : Role::kLineEnd;
 }
 
+/// Result of minimizing point-to-edge distance over the hull boundary.
+struct NearestEdge {
+  std::size_t i1 = 0;
+  std::size_t i2 = 0;
+  geom::Segment edge{};
+  double dist = std::numeric_limits<double>::infinity();
+};
+
+/// The hull edge nearest to `p` (ties keep the first edge in hull order).
+/// Shared by the gate search and the exit-path estimate so both agree on
+/// which edge a robot is heading for.
+std::optional<NearestEdge> scan_nearest_hull_edge(const LocalView& view, Vec2 p) {
+  const std::size_t h = view.hull.size();
+  if (h < 3) return std::nullopt;
+  NearestEdge best;
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t i1 = view.hull[k];
+    const std::size_t i2 = view.hull[(k + 1) % h];
+    const geom::Segment e{view.pts[i1], view.pts[i2]};
+    const double d = geom::point_segment_distance(e, p);
+    if (d < best.dist) best = NearestEdge{i1, i2, e, d};
+  }
+  if (!std::isfinite(best.dist)) return std::nullopt;
+  return best;
+}
+
 }  // namespace
 
 LocalView build_view(const model::Snapshot& snap) {
@@ -77,35 +103,23 @@ LocalView build_view(const model::Snapshot& snap) {
 }
 
 std::optional<GateEdge> nearest_hull_edge(const LocalView& view) {
-  const std::size_t h = view.hull.size();
-  if (h < 3) return std::nullopt;
-  GateEdge best;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t k = 0; k < h; ++k) {
-    const std::size_t i1 = view.hull[k];
-    const std::size_t i2 = view.hull[(k + 1) % h];
-    const geom::Segment e{view.pts[i1], view.pts[i2]};
-    const double d = geom::point_segment_distance(e, view.self());
-    if (d < best_dist) {
-      best_dist = d;
-      best = GateEdge{i1, i2, e.a, e.b, d};
-    }
-  }
-  if (!std::isfinite(best_dist)) return std::nullopt;
-  return best;
+  const auto best = scan_nearest_hull_edge(view, view.self());
+  if (!best) return std::nullopt;
+  return GateEdge{best->i1, best->i2, best->edge.a, best->edge.b, best->dist};
 }
 
 std::optional<GateEdge> containing_hull_edge(const LocalView& view) {
   const std::size_t h = view.hull.size();
   if (h < 2) return std::nullopt;
+  // A degenerate 2-point hull bounds exactly one edge; a proper polygon has
+  // one edge per vertex (the wrap-around closes it).
+  const std::size_t edge_count = h == 2 ? 1 : h;
   const Vec2 self = view.self();
-  for (std::size_t k = 0; k < h; ++k) {
+  for (std::size_t k = 0; k < edge_count; ++k) {
     const std::size_t i1 = view.hull[k];
     const std::size_t i2 = view.hull[(k + 1) % h];
-    if (h == 2 && k == 1) break;  // Degenerate hull has one edge.
     if (geom::on_segment_open(view.pts[i1], view.pts[i2], self)) {
-      return GateEdge{i1, i2, view.pts[i1], view.pts[i2],
-                      0.0};
+      return GateEdge{i1, i2, view.pts[i1], view.pts[i2], 0.0};
     }
   }
   return std::nullopt;
@@ -153,19 +167,9 @@ bool gate_has_transit_traffic(const LocalView& view, const GateEdge& gate) {
 
 std::optional<geom::Segment> estimated_exit_path(const LocalView& view,
                                                  geom::Vec2 p) {
-  const std::size_t h = view.hull.size();
-  if (h < 3) return std::nullopt;
-  double best_dist = std::numeric_limits<double>::infinity();
-  geom::Segment best_edge{};
-  for (std::size_t k = 0; k < h; ++k) {
-    const geom::Segment e{view.pts[view.hull[k]], view.pts[view.hull[(k + 1) % h]]};
-    const double d = geom::point_segment_distance(e, p);
-    if (d < best_dist) {
-      best_dist = d;
-      best_edge = e;
-    }
-  }
-  if (!std::isfinite(best_dist)) return std::nullopt;
+  const auto best = scan_nearest_hull_edge(view, p);
+  if (!best) return std::nullopt;
+  const geom::Segment best_edge = best->edge;
   const geom::Vec2 foot = geom::closest_point_on_segment(best_edge, p);
   const geom::Vec2 out = foot - p;
   const double out_len = geom::norm(out);

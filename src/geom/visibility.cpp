@@ -43,8 +43,17 @@ inline int half_of(Vec2 d) noexcept {
 }  // namespace
 
 std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) {
+  VisibilityScratch scratch;
+  std::vector<std::size_t> visible;
+  visible_from(pts, i, scratch, visible);
+  return visible;
+}
+
+void visible_from(std::span<const Vec2> pts, std::size_t i,
+                  VisibilityScratch& scratch, std::vector<std::size_t>& out) {
   const Vec2 o = pts[i];
-  std::vector<std::size_t> others;
+  std::vector<std::size_t>& others = scratch.order;
+  others.clear();
   others.reserve(pts.size());
   for (std::size_t j = 0; j < pts.size(); ++j) {
     if (j != i && pts[j] != o) others.push_back(j);
@@ -60,8 +69,8 @@ std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) 
     return norm_sq(da) < norm_sq(db);
   });
   // Keep only the first (nearest) of each equal-direction run.
-  std::vector<std::size_t> visible;
-  visible.reserve(others.size());
+  out.clear();
+  out.reserve(others.size());
   for (std::size_t k = 0; k < others.size(); ++k) {
     if (k > 0) {
       const std::size_t prev = others[k - 1];
@@ -70,9 +79,8 @@ std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) 
                             orient2d(o, pts[prev], pts[cur]) == 0;
       if (same_ray) continue;
     }
-    visible.push_back(others[k]);
+    out.push_back(others[k]);
   }
-  return visible;
 }
 
 VisibilityGraph compute_visibility(std::span<const Vec2> pts) {

@@ -45,11 +45,25 @@ class VisibilityGraph {
   std::vector<unsigned char> bits_;
 };
 
+/// Reusable workspace for visible_from. Holding one per caller makes the
+/// steady-state visibility sweep allocation-free: the angular-sort buffer
+/// keeps its capacity across calls.
+struct VisibilityScratch {
+  std::vector<std::size_t> order;  ///< Angular-sort workspace.
+};
+
 /// Indices of the robots visible from observer `i` (excluding i itself).
 /// Coincident points never see each other (they are collisions, flagged
 /// elsewhere). O(n log n).
 [[nodiscard]] std::vector<std::size_t> visible_from(std::span<const Vec2> pts,
                                                     std::size_t i);
+
+/// Buffer-reusing overload: fills `out` with the visible indices using
+/// `scratch` for the sort workspace. Performs no heap allocation once both
+/// buffers have warmed to the point count. Produces exactly the same index
+/// sequence as the allocating overload (which delegates to this one).
+void visible_from(std::span<const Vec2> pts, std::size_t i,
+                  VisibilityScratch& scratch, std::vector<std::size_t>& out);
 
 /// Full visibility graph, O(n^2 log n).
 [[nodiscard]] VisibilityGraph compute_visibility(std::span<const Vec2> pts);

@@ -31,13 +31,23 @@ Snapshot build_snapshot(std::span<const geom::Vec2> positions,
                         std::span<const Light> lights, std::size_t observer,
                         const LocalFrame& frame) {
   Snapshot snap;
-  snap.self_light = lights[observer];
-  const auto visible_ids = geom::visible_from(positions, observer);
-  snap.visible.reserve(visible_ids.size());
-  for (const std::size_t j : visible_ids) {
-    snap.visible.push_back(SnapshotEntry{frame.to_local(positions[j]), lights[j]});
-  }
+  SnapshotScratch scratch;
+  build_snapshot(positions, lights, observer, frame, scratch, snap);
   return snap;
+}
+
+void build_snapshot(std::span<const geom::Vec2> positions,
+                    std::span<const Light> lights, std::size_t observer,
+                    const LocalFrame& frame, SnapshotScratch& scratch,
+                    Snapshot& out) {
+  out.self_light = lights[observer];
+  geom::visible_from(positions, observer, scratch.visibility,
+                     scratch.visible_ids);
+  out.visible.clear();
+  out.visible.reserve(scratch.visible_ids.size());
+  for (const std::size_t j : scratch.visible_ids) {
+    out.visible.push_back(SnapshotEntry{frame.to_local(positions[j]), lights[j]});
+  }
 }
 
 }  // namespace lumen::model

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "geom/vec2.hpp"
+#include "geom/visibility.hpp"
 #include "model/frame.hpp"
 #include "model/light.hpp"
 
@@ -46,6 +47,14 @@ struct Snapshot {
   }
 };
 
+/// Reusable workspace for build_snapshot. One instance per engine (or per
+/// thread) makes the steady-state Look path allocation-free: the visibility
+/// sweep buffers and the id list keep their capacity across Looks.
+struct SnapshotScratch {
+  geom::VisibilityScratch visibility;
+  std::vector<std::size_t> visible_ids;
+};
+
 /// Builds the snapshot of `observer` against world-state arrays.
 /// `positions[i]` / `lights[i]` are the CURRENT world position (possibly
 /// mid-move under ASYNC) and light of robot i. Visibility is obstructed;
@@ -54,5 +63,14 @@ struct Snapshot {
                                       std::span<const Light> lights,
                                       std::size_t observer,
                                       const LocalFrame& frame);
+
+/// Buffer-reusing overload: refills `out` in place. Performs no heap
+/// allocation once `scratch` and `out.visible` have warmed to the swarm
+/// size. Produces exactly the same snapshot as the allocating overload
+/// (which delegates to this one).
+void build_snapshot(std::span<const geom::Vec2> positions,
+                    std::span<const Light> lights, std::size_t observer,
+                    const LocalFrame& frame, SnapshotScratch& scratch,
+                    Snapshot& out);
 
 }  // namespace lumen::model

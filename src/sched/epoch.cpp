@@ -56,4 +56,61 @@ std::size_t EpochTimeline::count_epochs(double horizon) const {
   return epoch_boundaries(horizon).size();
 }
 
+StreamingEpochDetector::StreamingEpochDetector(std::size_t robot_count)
+    : pending_(robot_count) {}
+
+std::size_t StreamingEpochDetector::add_cycle(const CycleRecord& rec) {
+  if (rec.robot >= pending_.size()) {
+    throw std::out_of_range(
+        "StreamingEpochDetector::add_cycle: robot index out of range");
+  }
+  auto& cycles = pending_[rec.robot];
+  if (!cycles.empty() && rec.start < cycles.back().first) {
+    throw std::invalid_argument(
+        "StreamingEpochDetector::add_cycle: cycles out of order");
+  }
+  // Cycles starting before the current epoch can never qualify again (epoch
+  // begins only move forward), so they are not buffered at all.
+  if (rec.start >= epoch_begin_) cycles.emplace_back(rec.start, rec.end);
+  return drain();
+}
+
+std::size_t StreamingEpochDetector::drain() {
+  std::size_t closed = 0;
+  for (;;) {
+    // Same recurrence as EpochTimeline::epoch_boundaries: the epoch ends at
+    // the max over robots of the end of the robot's first cycle with start
+    // >= epoch_begin_. Buffered fronts ARE those first qualifying cycles.
+    double epoch_end = epoch_begin_;
+    bool complete = true;
+    for (const auto& cycles : pending_) {
+      if (cycles.empty()) {
+        complete = false;
+        break;
+      }
+      epoch_end = std::max(epoch_end, cycles.front().second);
+    }
+    if (!complete || pending_.empty()) break;
+    boundaries_.push_back(epoch_end);
+    ++closed;
+    // Guard against zero-length epochs (all cycles instantaneous) looping.
+    if (epoch_end <= epoch_begin_) epoch_end = std::nextafter(epoch_begin_, 1e300);
+    epoch_begin_ = epoch_end;
+    for (auto& cycles : pending_) {
+      while (!cycles.empty() && cycles.front().first < epoch_begin_) {
+        cycles.pop_front();
+      }
+    }
+  }
+  return closed;
+}
+
+std::size_t StreamingEpochDetector::count_epochs(double horizon) const noexcept {
+  std::size_t count = 0;
+  for (const double b : boundaries_) {
+    if (b <= horizon) ++count;
+  }
+  return count;
+}
+
 }  // namespace lumen::sched

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
 namespace lumen::sched {
@@ -46,6 +47,42 @@ class EpochTimeline {
  private:
   // Per robot: chronologically sorted cycles (start, end).
   std::vector<std::vector<std::pair<double, double>>> per_robot_;
+};
+
+/// Online epoch detection with bounded memory: feeds on the same CycleRecord
+/// stream as EpochTimeline but closes epochs as soon as they complete,
+/// instead of retaining the whole timeline and reconstructing post-hoc.
+/// Runs the SAME greedy recurrence as EpochTimeline::epoch_boundaries —
+/// epoch e begins where e-1 ended and ends at max over robots of (end of the
+/// robot's first cycle with start >= epoch begin) — so the boundary list is
+/// identical; only O(cycles per epoch) records are buffered at any time.
+class StreamingEpochDetector {
+ public:
+  explicit StreamingEpochDetector(std::size_t robot_count);
+
+  /// Feeds one completed cycle. Cycles of one robot must arrive in
+  /// chronological order (as the engines emit them). Returns the number of
+  /// epochs that CLOSED as a consequence (usually 0 or 1; a straggler
+  /// robot's cycle can close several at once).
+  std::size_t add_cycle(const CycleRecord& rec);
+
+  /// End times of every epoch closed so far (non-decreasing).
+  [[nodiscard]] const std::vector<double>& boundaries() const noexcept {
+    return boundaries_;
+  }
+
+  /// Number of closed epochs whose end lies in [0, horizon] — the streaming
+  /// equivalent of EpochTimeline::count_epochs.
+  [[nodiscard]] std::size_t count_epochs(double horizon) const noexcept;
+
+ private:
+  /// Closes epochs while every robot has a qualifying cycle buffered.
+  std::size_t drain();
+
+  double epoch_begin_ = 0.0;
+  std::vector<double> boundaries_;
+  // Per robot: buffered cycles with start >= epoch_begin_, chronological.
+  std::vector<std::deque<std::pair<double, double>>> pending_;
 };
 
 }  // namespace lumen::sched

@@ -1,4 +1,4 @@
-// The execution engines.
+// The execution drivers.
 //
 // ASYNC: a discrete-event loop over per-robot phase events. Each robot
 // cycles Wait -> Look (instantaneous snapshot; other robots may be observed
@@ -11,19 +11,16 @@
 // simultaneously. Moves are recorded as unit-interval segments so the
 // collision monitor treats same-round movers as concurrent.
 //
-// Both engines detect quiescence (every robot completed a cycle that
-// observed the final configuration and chose to do nothing) and reconstruct
-// epochs from the recorded cycle timeline.
+// All world state, quiescence accounting and instrumentation fan-out lives
+// in ExecutionCore (execution_core.hpp); the drivers below own only their
+// scheduling shape. Observers delivered per the contract in observer.hpp;
+// the SYNC driver delivers all of a round's commits before any of its move
+// completions, mirroring their simultaneity.
 #include "sim/run.hpp"
 
-#include "geom/hull.hpp"
-#include "model/frame.hpp"
-#include "model/snapshot.hpp"
+#include "sim/execution_core.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <queue>
-#include <stdexcept>
 
 namespace lumen::sim {
 
@@ -39,30 +36,9 @@ std::string_view to_string(SchedulerKind k) noexcept {
 namespace {
 
 using geom::Vec2;
-using model::Light;
-
-std::size_t light_index(Light l) noexcept { return static_cast<std::size_t>(l); }
-
-/// Census of strict hull corners vs the rest.
-HullSample hull_census(double time, std::span<const Vec2> positions) {
-  const auto hull = geom::convex_hull_indices(positions);
-  HullSample s;
-  s.time = time;
-  // A degenerate (collinear) hull reports its two extremes as "corners".
-  s.corners = hull.size();
-  s.non_corners = positions.size() - std::min(hull.size(), positions.size());
-  return s;
-}
-
-/// Frame parameters that persist when refresh_frames_each_look is false.
-struct FrameParams {
-  double rotation = 0.0;
-  double scale = 1.0;
-  bool reflected = false;
-};
 
 // ---------------------------------------------------------------------------
-// ASYNC engine
+// ASYNC driver
 // ---------------------------------------------------------------------------
 
 enum class PhaseEvent { kLook, kCommit, kMoveDone };
@@ -81,85 +57,73 @@ struct EventLater {
   }
 };
 
-class AsyncEngine {
+class AsyncDriver {
  public:
-  AsyncEngine(const model::Algorithm& algorithm, std::span<const Vec2> initial,
-              const RunConfig& config)
-      : algo_(algorithm),
-        config_(config),
-        n_(initial.size()),
-        rng_(config.seed),
-        adversary_(sched::make_adversary(config.adversary)),
-        timeline_(initial.size()) {
-    positions_.assign(initial.begin(), initial.end());
-    lights_.assign(n_, Light::kOff);
-    moving_.assign(n_, false);
-    current_move_.assign(n_, MoveSegment{});
-    cycle_start_.assign(n_, 0.0);
-    look_time_.assign(n_, 0.0);
-    pending_.assign(n_, model::Action{});
-    pending_null_.assign(n_, true);
-    timing_.assign(n_, sched::PhaseTiming{});
-    last_null_look_.assign(n_, -1.0);
-    in_wait_.assign(n_, true);
-    frame_params_.reserve(n_);
-    util::Prng frame_rng = rng_.split("frames");
-    for (std::size_t i = 0; i < n_; ++i) {
-      frame_params_.push_back(FrameParams{
-          frame_rng.uniform(0.0, 6.283185307179586),
-          std::exp2(frame_rng.uniform(-2.0, 2.0)),
-          frame_rng.bernoulli(0.5),
-      });
-    }
-    schedule_rng_ = rng_.split("schedule");
-    look_frame_rng_ = rng_.split("look-frames");
+  AsyncDriver(const model::Algorithm& algorithm, std::span<const Vec2> initial,
+              const RunConfig& config, std::span<RunObserver* const> observers)
+      : config_(config),
+        core_(algorithm, initial, config, observers),
+        adversary_(sched::make_adversary(config.adversary)) {
+    core_.seed_frames(core_.split_stream("frames"));
+    schedule_rng_ = core_.split_stream("schedule");
+    core_.set_look_frame_stream(core_.split_stream("look-frames"));
+    timing_.assign(core_.size(), sched::PhaseTiming{});
   }
 
   RunResult run() {
     RunResult result;
-    result.initial_positions = positions_;
-    result.lights_seen[light_index(Light::kOff)] = true;
-    if (config_.record_hull_history) {
-      result.hull_history.push_back(hull_census(0.0, positions_));
-    }
-    if (n_ == 0) {
-      result.converged = true;
+    const auto initial = core_.positions();
+    result.initial_positions.assign(initial.begin(), initial.end());
+    core_.notify_run_begin();
+    const std::size_t n = core_.size();
+    if (n == 0) {
+      core_.notify_run_end(0.0);
+      core_.finalize(result, /*converged=*/true, /*final_time=*/0.0);
       return result;
     }
 
     // Boot every robot's first cycle.
-    for (std::size_t i = 0; i < n_; ++i) start_cycle(i, 0.0);
+    for (std::size_t i = 0; i < n; ++i) start_cycle(i, 0.0);
 
-    const std::size_t cycle_cap = config_.max_cycles_per_robot * n_;
+    const std::size_t cycle_cap = config_.max_cycles_per_robot * n;
     bool quiescent = false;
     while (!events_.empty()) {
       const Event ev = events_.top();
       events_.pop();
       now_ = ev.time;
       switch (ev.type) {
-        case PhaseEvent::kLook: handle_look(ev.robot); break;
-        case PhaseEvent::kCommit: handle_commit(ev.robot, result); break;
-        case PhaseEvent::kMoveDone: handle_move_done(ev.robot, result); break;
+        case PhaseEvent::kLook: {
+          core_.look(ev.robot, now_);
+          push_event(now_ + timing_[ev.robot].compute, ev.robot,
+                     PhaseEvent::kCommit);
+          break;
+        }
+        case PhaseEvent::kCommit: {
+          if (core_.commit_async(ev.robot, now_,
+                                 timing_[ev.robot].move_duration,
+                                 schedule_rng_)) {
+            push_event(now_ + timing_[ev.robot].move_duration, ev.robot,
+                       PhaseEvent::kMoveDone);
+          } else {
+            finish_cycle(ev.robot);
+          }
+          break;
+        }
+        case PhaseEvent::kMoveDone: {
+          core_.complete_move(ev.robot, now_);
+          finish_cycle(ev.robot);
+          break;
+        }
       }
-      if (ev.type != PhaseEvent::kLook && is_quiescent()) {
+      if (ev.type != PhaseEvent::kLook && core_.quiescent_async()) {
         quiescent = true;
         break;
       }
-      if (total_cycles_ >= cycle_cap) break;
+      if (core_.total_cycles() >= cycle_cap) break;
     }
 
-    result.converged = quiescent;
-    result.final_time = now_;
-    result.total_cycles = total_cycles_;
-    result.final_positions = positions_;
-    result.final_lights = lights_;
-    result.moves = std::move(move_log_);
-    result.total_moves = result.moves.size();
-    for (const auto& m : result.moves) result.total_distance += m.length();
-    // Convergence time is the LAST state change, not the (later) instant at
-    // which quiescence became detectable; count one extra epoch so the final
-    // observing cycle is included, matching the theoretical measure.
-    result.epochs = timeline_.count_epochs(last_change_) + 1;
+    core_.notify_run_end(now_);
+    core_.finalize(result, quiescent, now_);
     return result;
   }
 
@@ -169,299 +133,134 @@ class AsyncEngine {
   }
 
   void start_cycle(std::size_t robot, double time) {
-    timing_[robot] = adversary_->sample(robot, cycle_counter_[0], schedule_rng_);
-    cycle_start_[robot] = time;
-    in_wait_[robot] = true;
+    timing_[robot] = adversary_->sample(
+        robot, static_cast<std::uint64_t>(core_.total_cycles()), schedule_rng_);
+    core_.begin_cycle(robot, time);
     push_event(time + timing_[robot].wait, robot, PhaseEvent::kLook);
   }
 
-  Vec2 position_at(std::size_t robot, double t) const noexcept {
-    return moving_[robot] ? current_move_[robot].at(t) : positions_[robot];
-  }
-
-  void handle_look(std::size_t robot) {
-    in_wait_[robot] = false;
-    look_time_[robot] = now_;
-    // World positions at this instant (movers interpolated).
-    std::vector<Vec2> world(n_);
-    for (std::size_t j = 0; j < n_; ++j) world[j] = position_at(j, now_);
-    model::LocalFrame frame = make_frame(robot, world[robot]);
-    const model::Snapshot snap =
-        model::build_snapshot(world, lights_, robot, frame);
-    // Compute is deterministic on the snapshot, so evaluating it now and
-    // committing later is equivalent to evaluating at commit time.
-    const model::Action action = algo_.compute(snap);
-    pending_[robot] = model::Action{frame.to_world(action.target) , action.light};
-    // Encode "stay" in world terms: a stay action keeps the world position.
-    if (!action.moves()) pending_[robot].target = world[robot];
-    pending_null_[robot] = !action.moves() && action.light == lights_[robot];
-    push_event(now_ + timing_[robot].compute, robot, PhaseEvent::kCommit);
-  }
-
-  /// Applies the non-rigid adversary to an intended destination: the robot
-  /// is stopped somewhere along the segment, but always progresses by at
-  /// least min(nonrigid_min_progress, full distance).
-  Vec2 apply_motion_adversary(Vec2 from, Vec2 to) {
-    if (config_.rigid_moves) return to;
-    const double dist = geom::distance(from, to);
-    if (dist <= config_.nonrigid_min_progress) return to;
-    const double fraction = schedule_rng_.uniform(0.0, 1.0);
-    const double travelled =
-        std::max(config_.nonrigid_min_progress, fraction * dist);
-    return geom::lerp(from, to, travelled / dist);
-  }
-
-  void handle_commit(std::size_t robot, RunResult& result) {
-    const model::Action action = pending_[robot];
-    const bool light_changed = lights_[robot] != action.light;
-    lights_[robot] = action.light;
-    result.lights_seen[light_index(action.light)] = true;
-    const Vec2 from = positions_[robot];
-    const Vec2 to = apply_motion_adversary(from, action.target);
-    const double dist = geom::distance(from, to);
-    if (light_changed) last_change_ = now_;
-    if (dist > 0.0) {
-      last_change_ = now_;
-      const double duration = timing_[robot].move_duration;
-      current_move_[robot] = MoveSegment{robot, now_, now_ + duration, from, to};
-      moving_[robot] = true;
-      push_event(now_ + duration, robot, PhaseEvent::kMoveDone);
-    } else {
-      // Null move: the cycle ends here.
-      if (!light_changed) last_null_look_[robot] = look_time_[robot];
-      finish_cycle(robot, result, /*moved=*/false);
-    }
-  }
-
-  void handle_move_done(std::size_t robot, RunResult& result) {
-    positions_[robot] = current_move_[robot].to;
-    moving_[robot] = false;
-    move_log_.push_back(current_move_[robot]);
-    last_change_ = now_;
-    if (config_.record_hull_history) {
-      std::vector<Vec2> world(n_);
-      for (std::size_t j = 0; j < n_; ++j) world[j] = position_at(j, now_);
-      result.hull_history.push_back(hull_census(now_, world));
-    }
-    finish_cycle(robot, result, /*moved=*/true);
-  }
-
-  void finish_cycle(std::size_t robot, RunResult&, bool) {
-    timeline_.add_cycle(sched::CycleRecord{robot, cycle_start_[robot], now_});
-    ++total_cycles_;
-    ++cycle_counter_[0];
+  void finish_cycle(std::size_t robot) {
+    core_.record_cycle(robot, now_);
     start_cycle(robot, now_);
   }
 
-  // Quiescent iff no robot can change the world state anymore:
-  //  - nobody is moving,
-  //  - any robot between Look and Commit has a null action pending,
-  //  - every robot has completed a null cycle that observed the
-  //    post-last-change configuration (so all future cycles are null too,
-  //    given a frame-invariant algorithm).
-  [[nodiscard]] bool is_quiescent() const noexcept {
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (moving_[i]) return false;
-      if (!in_wait_[i] && !pending_null_[i]) return false;
-      if (last_null_look_[i] < last_change_) return false;
-    }
-    return true;
-  }
-
-  model::LocalFrame make_frame(std::size_t robot, Vec2 origin) {
-    if (config_.refresh_frames_each_look) {
-      return model::LocalFrame::random(origin, look_frame_rng_);
-    }
-    const FrameParams& p = frame_params_[robot];
-    return model::LocalFrame{origin, p.rotation, p.scale, p.reflected};
-  }
-
-  const model::Algorithm& algo_;
   const RunConfig& config_;
-  std::size_t n_;
-  util::Prng rng_;
+  ExecutionCore core_;
   util::Prng schedule_rng_{0};
-  util::Prng look_frame_rng_{0};
   std::unique_ptr<sched::Adversary> adversary_;
-  sched::EpochTimeline timeline_;
-
+  std::vector<sched::PhaseTiming> timing_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::uint64_t seq_ = 0;
   double now_ = 0.0;
-  double last_change_ = 0.0;
-  std::size_t total_cycles_ = 0;
-  std::array<std::uint64_t, 1> cycle_counter_{};
-
-  std::vector<Vec2> positions_;
-  std::vector<Light> lights_;
-  std::vector<bool> moving_;
-  std::vector<MoveSegment> current_move_;
-  std::vector<double> cycle_start_;
-  std::vector<double> look_time_;
-  std::vector<model::Action> pending_;
-  std::vector<bool> pending_null_;
-  std::vector<sched::PhaseTiming> timing_;
-  std::vector<double> last_null_look_;
-  std::vector<bool> in_wait_;
-  std::vector<FrameParams> frame_params_;
-  std::vector<MoveSegment> move_log_;
 };
 
 // ---------------------------------------------------------------------------
-// SYNC engine (FSYNC / SSYNC)
+// SYNC driver (FSYNC / SSYNC)
 // ---------------------------------------------------------------------------
 
-class SyncEngine {
+class SyncDriver {
  public:
-  SyncEngine(const model::Algorithm& algorithm, std::span<const Vec2> initial,
-             const RunConfig& config)
-      : algo_(algorithm),
-        config_(config),
-        n_(initial.size()),
-        rng_(config.seed),
-        timeline_(initial.size()) {
-    positions_.assign(initial.begin(), initial.end());
-    lights_.assign(n_, Light::kOff);
+  SyncDriver(const model::Algorithm& algorithm, std::span<const Vec2> initial,
+             const RunConfig& config, std::span<RunObserver* const> observers)
+      : config_(config), core_(algorithm, initial, config, observers) {
     const sched::ActivationKind kind = config.scheduler == SchedulerKind::kFsync
                                            ? sched::ActivationKind::kAll
                                            : config.activation;
     policy_ = sched::make_activation(kind);
-    activation_rng_ = rng_.split("activation");
-    motion_rng_ = rng_.split("motion");
-    look_frame_rng_ = rng_.split("look-frames");
-    util::Prng frame_rng = rng_.split("frames");
-    frame_params_.reserve(n_);
-    for (std::size_t i = 0; i < n_; ++i) {
-      frame_params_.push_back(FrameParams{
-          frame_rng.uniform(0.0, 6.283185307179586),
-          std::exp2(frame_rng.uniform(-2.0, 2.0)),
-          frame_rng.bernoulli(0.5),
-      });
-    }
+    activation_rng_ = core_.split_stream("activation");
+    motion_rng_ = core_.split_stream("motion");
+    core_.set_look_frame_stream(core_.split_stream("look-frames"));
+    core_.seed_frames(core_.split_stream("frames"));
   }
 
   RunResult run() {
     RunResult result;
-    result.initial_positions = positions_;
-    result.lights_seen[light_index(Light::kOff)] = true;
-    if (config_.record_hull_history) {
-      result.hull_history.push_back(hull_census(0.0, positions_));
-    }
-    if (n_ == 0) {
-      result.converged = true;
+    const auto initial = core_.positions();
+    result.initial_positions.assign(initial.begin(), initial.end());
+    core_.notify_run_begin();
+    const std::size_t n = core_.size();
+    if (n == 0) {
+      core_.notify_run_end(0.0);
+      core_.finalize(result, /*converged=*/true, /*final_time=*/0.0);
       return result;
     }
 
-    std::vector<double> last_null_look(n_, -1.0);
-    double last_change = 0.0;
     const std::size_t round_cap = config_.max_cycles_per_robot;
     std::uint64_t round = 0;
     bool quiescent = false;
+    std::vector<std::uint8_t> started;
     while (round < round_cap) {
       const double t0 = static_cast<double>(round);
       const double t1 = t0 + 1.0;
-      const auto active = policy_->activate(n_, round, activation_rng_);
+      const auto active = policy_->activate(n, round, activation_rng_);
       // All activated robots Look at the same pre-round configuration.
-      std::vector<model::Action> world_actions(active.size());
+      for (const std::size_t r : active) {
+        core_.begin_cycle(r, t0);
+        core_.look(r, t0);
+      }
+      // Simultaneous application: all commits land before any position
+      // write, so same-round movers see each other's pre-round positions.
+      started.assign(active.size(), 0);
       for (std::size_t k = 0; k < active.size(); ++k) {
-        const std::size_t r = active[k];
-        model::LocalFrame frame = make_frame(r, positions_[r]);
-        const model::Snapshot snap =
-            model::build_snapshot(positions_, lights_, r, frame);
-        const model::Action a = algo_.compute(snap);
-        world_actions[k] =
-            model::Action{a.moves() ? frame.to_world(a.target) : positions_[r], a.light};
+        started[k] = core_.commit_sync(active[k], t0, t1, motion_rng_) ? 1 : 0;
       }
-      // Simultaneous application (non-rigid stopping applied per robot).
       for (std::size_t k = 0; k < active.size(); ++k) {
-        const std::size_t r = active[k];
-        model::Action a = world_actions[k];
-        if (!config_.rigid_moves && a.target != positions_[r]) {
-          const double dist = geom::distance(positions_[r], a.target);
-          if (dist > config_.nonrigid_min_progress) {
-            const double travelled = std::max(config_.nonrigid_min_progress,
-                                              motion_rng_.uniform(0.0, 1.0) * dist);
-            a.target = geom::lerp(positions_[r], a.target, travelled / dist);
-          }
-        }
-        const bool light_changed = lights_[r] != a.light;
-        const bool moved = a.target != positions_[r];
-        lights_[r] = a.light;
-        result.lights_seen[light_index(a.light)] = true;
-        if (moved) {
-          move_log_.push_back(MoveSegment{r, t0, t1, positions_[r], a.target});
-          positions_[r] = a.target;
-        }
-        if (light_changed || moved) {
-          last_change = t1;
-        } else {
-          last_null_look[r] = t0;
-        }
-        timeline_.add_cycle(sched::CycleRecord{r, t0, t1});
-        ++total_cycles_;
+        if (started[k] != 0) core_.complete_move(active[k], t1);
       }
-      if (config_.record_hull_history) {
-        result.hull_history.push_back(hull_census(t1, positions_));
-      }
+      for (const std::size_t r : active) core_.record_cycle(r, t1);
+      core_.notify_round(round, t1);
       ++round;
-      quiescent = true;
-      for (std::size_t i = 0; i < n_; ++i) {
-        if (last_null_look[i] < last_change) {
-          quiescent = false;
-          break;
-        }
+      if (core_.quiescent_sync()) {
+        quiescent = true;
+        break;
       }
-      if (quiescent) break;
     }
 
-    result.converged = quiescent;
+    const double final_time = static_cast<double>(round);
+    core_.notify_run_end(final_time);
+    core_.finalize(result, quiescent, final_time);
     result.rounds = round;
-    result.final_time = static_cast<double>(round);
-    result.total_cycles = total_cycles_;
-    result.final_positions = positions_;
-    result.final_lights = lights_;
-    result.moves = std::move(move_log_);
-    result.total_moves = result.moves.size();
-    for (const auto& m : result.moves) result.total_distance += m.length();
-    result.epochs = timeline_.count_epochs(last_change) + 1;
     return result;
   }
 
  private:
-  model::LocalFrame make_frame(std::size_t robot, Vec2 origin) {
-    if (config_.refresh_frames_each_look) {
-      return model::LocalFrame::random(origin, look_frame_rng_);
-    }
-    const FrameParams& p = frame_params_[robot];
-    return model::LocalFrame{origin, p.rotation, p.scale, p.reflected};
-  }
-
-  const model::Algorithm& algo_;
   const RunConfig& config_;
-  std::size_t n_;
-  util::Prng rng_;
+  ExecutionCore core_;
   util::Prng activation_rng_{0};
-  util::Prng look_frame_rng_{0};
   util::Prng motion_rng_{0};
   std::unique_ptr<sched::ActivationPolicy> policy_;
-  sched::EpochTimeline timeline_;
-  std::vector<Vec2> positions_;
-  std::vector<Light> lights_;
-  std::vector<FrameParams> frame_params_;
-  std::vector<MoveSegment> move_log_;
-  std::size_t total_cycles_ = 0;
 };
 
 }  // namespace
 
 RunResult run_simulation(const model::Algorithm& algorithm,
-                         std::span<const Vec2> initial, const RunConfig& config) {
+                         std::span<const Vec2> initial, const RunConfig& config,
+                         std::span<RunObserver* const> observers) {
+  MoveLogRecorder move_recorder;
+  HullHistoryRecorder hull_recorder(config.scheduler != SchedulerKind::kAsync);
+  std::vector<RunObserver*> attached(observers.begin(), observers.end());
+  if (config.record_moves) attached.push_back(&move_recorder);
+  if (config.record_hull_history) attached.push_back(&hull_recorder);
+
+  RunResult result;
   if (config.scheduler == SchedulerKind::kAsync) {
-    AsyncEngine engine(algorithm, initial, config);
-    return engine.run();
+    AsyncDriver driver(algorithm, initial, config, attached);
+    result = driver.run();
+  } else {
+    SyncDriver driver(algorithm, initial, config, attached);
+    result = driver.run();
   }
-  SyncEngine engine(algorithm, initial, config);
-  return engine.run();
+  if (config.record_moves) result.moves = std::move(move_recorder.moves());
+  if (config.record_hull_history) {
+    result.hull_history = std::move(hull_recorder.samples());
+  }
+  return result;
+}
+
+RunResult run_simulation(const model::Algorithm& algorithm,
+                         std::span<const Vec2> initial,
+                         const RunConfig& config) {
+  return run_simulation(algorithm, initial, config, {});
 }
 
 }  // namespace lumen::sim

@@ -1,0 +1,248 @@
+#include "sim/execution_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumen::sim {
+
+namespace {
+
+std::size_t light_index(model::Light l) noexcept {
+  return static_cast<std::size_t>(l);
+}
+
+}  // namespace
+
+ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
+                             std::span<const geom::Vec2> initial,
+                             const RunConfig& config,
+                             std::span<RunObserver* const> observers)
+    : algo_(algorithm),
+      config_(config),
+      n_(initial.size()),
+      rng_(config.seed),
+      epochs_(initial.size()),
+      observers_(observers) {
+  positions_.assign(initial.begin(), initial.end());
+  lights_.assign(n_, model::Light::kOff);
+  moving_.assign(n_, 0);
+  current_move_.assign(n_, MoveSegment{});
+  cycle_start_.assign(n_, 0.0);
+  look_time_.assign(n_, 0.0);
+  pending_.assign(n_, model::Action{});
+  pending_null_.assign(n_, 1);
+  last_null_look_.assign(n_, -1.0);
+  in_wait_.assign(n_, 1);
+  lights_seen_[light_index(model::Light::kOff)] = true;
+  world_scratch_.assign(n_, geom::Vec2{});
+  snapshot_.visible.reserve(n_);
+}
+
+util::Prng ExecutionCore::split_stream(std::string_view tag) const noexcept {
+  return rng_.split(tag);
+}
+
+void ExecutionCore::seed_frames(util::Prng frame_rng) {
+  frame_params_.clear();
+  frame_params_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    frame_params_.push_back(FrameParams{
+        frame_rng.uniform(0.0, 6.283185307179586),
+        std::exp2(frame_rng.uniform(-2.0, 2.0)),
+        frame_rng.bernoulli(0.5),
+    });
+  }
+}
+
+void ExecutionCore::begin_cycle(std::size_t robot, double time) {
+  cycle_start_[robot] = time;
+  in_wait_[robot] = 1;
+}
+
+void ExecutionCore::look(std::size_t robot, double time) {
+  in_wait_[robot] = 0;
+  look_time_[robot] = time;
+  // World positions at this instant (movers interpolated).
+  for (std::size_t j = 0; j < n_; ++j) {
+    world_scratch_[j] = position_at(j, time);
+  }
+  model::LocalFrame frame = make_frame(robot, world_scratch_[robot]);
+  model::build_snapshot(world_scratch_, lights_, robot, frame, snapshot_scratch_,
+                        snapshot_);
+  // Compute is deterministic on the snapshot, so evaluating it now and
+  // committing later is equivalent to evaluating at commit time.
+  const model::Action action = algo_.compute(snapshot_);
+  pending_[robot] = model::Action{frame.to_world(action.target), action.light};
+  // Encode "stay" in world terms: a stay action keeps the world position.
+  if (!action.moves()) pending_[robot].target = world_scratch_[robot];
+  pending_null_[robot] =
+      (!action.moves() && action.light == lights_[robot]) ? 1 : 0;
+  for (RunObserver* o : observers_) o->on_look(robot, time, world(time));
+}
+
+geom::Vec2 ExecutionCore::apply_motion_adversary(geom::Vec2 from, geom::Vec2 to,
+                                                 util::Prng& rng) const {
+  if (config_.rigid_moves) return to;
+  const double dist = geom::distance(from, to);
+  if (dist <= config_.nonrigid_min_progress) return to;
+  const double fraction = rng.uniform(0.0, 1.0);
+  const double travelled =
+      std::max(config_.nonrigid_min_progress, fraction * dist);
+  return geom::lerp(from, to, travelled / dist);
+}
+
+bool ExecutionCore::commit_async(std::size_t robot, double now,
+                                 double move_duration, util::Prng& motion_rng) {
+  const model::Action action = pending_[robot];
+  const bool light_changed = lights_[robot] != action.light;
+  lights_[robot] = action.light;
+  lights_seen_[light_index(action.light)] = true;
+  const geom::Vec2 from = positions_[robot];
+  const geom::Vec2 to = apply_motion_adversary(from, action.target, motion_rng);
+  const double dist = geom::distance(from, to);
+  if (light_changed) last_change_ = now;
+  const bool starts_move = dist > 0.0;
+  CommitEvent event;
+  event.robot = robot;
+  event.time = now;
+  event.action = model::Action{to, action.light};
+  event.light_changed = light_changed;
+  if (starts_move) {
+    last_change_ = now;
+    current_move_[robot] =
+        MoveSegment{robot, now, now + move_duration, from, to};
+    moving_[robot] = 1;
+    event.move_started = &current_move_[robot];
+  } else if (!light_changed) {
+    // Null cycle: this Look observed a configuration the robot is content
+    // with; quiescence needs it to postdate the last world change.
+    last_null_look_[robot] = look_time_[robot];
+  }
+  notify_commit(event, now);
+  return starts_move;
+}
+
+bool ExecutionCore::commit_sync(std::size_t robot, double t0, double t1,
+                                util::Prng& motion_rng) {
+  const model::Action action = pending_[robot];
+  const geom::Vec2 from = positions_[robot];
+  geom::Vec2 to = action.target;
+  if (to != from) to = apply_motion_adversary(from, to, motion_rng);
+  const bool light_changed = lights_[robot] != action.light;
+  const bool moved = to != from;
+  lights_[robot] = action.light;
+  lights_seen_[light_index(action.light)] = true;
+  CommitEvent event;
+  event.robot = robot;
+  event.time = t0;
+  event.action = model::Action{to, action.light};
+  event.light_changed = light_changed;
+  if (moved) {
+    // Unit-interval segment; the position write waits for complete_move so
+    // every robot in the round commits against the pre-round world.
+    current_move_[robot] = MoveSegment{robot, t0, t1, from, to};
+    moving_[robot] = 1;
+    event.move_started = &current_move_[robot];
+  }
+  if (light_changed) {
+    last_change_ = t1;
+  } else if (!moved) {
+    last_null_look_[robot] = t0;
+  }
+  notify_commit(event, t0);
+  return moved;
+}
+
+void ExecutionCore::complete_move(std::size_t robot, double t) {
+  positions_[robot] = current_move_[robot].to;
+  moving_[robot] = 0;
+  ++total_moves_;
+  total_distance_ += current_move_[robot].length();
+  last_change_ = t;
+  for (RunObserver* o : observers_) {
+    o->on_move_complete(current_move_[robot], world(t));
+  }
+}
+
+void ExecutionCore::record_cycle(std::size_t robot, double end) {
+  const std::size_t closed = epochs_.add_cycle(
+      sched::CycleRecord{robot, cycle_start_[robot], end});
+  ++total_cycles_;
+  for (std::size_t k = 0; k < closed; ++k) {
+    const std::size_t index = epochs_emitted_++;
+    for (RunObserver* o : observers_) {
+      o->on_epoch(index, epochs_.boundaries()[index], world(end));
+    }
+  }
+}
+
+bool ExecutionCore::quiescent_async() const noexcept {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (moving_[i] != 0) return false;
+    if (in_wait_[i] == 0 && pending_null_[i] == 0) return false;
+    if (last_null_look_[i] < last_change_) return false;
+  }
+  return true;
+}
+
+bool ExecutionCore::quiescent_sync() const noexcept {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (last_null_look_[i] < last_change_) return false;
+  }
+  return true;
+}
+
+WorldView ExecutionCore::world(double time) const noexcept {
+  WorldView view;
+  view.positions = positions_;
+  view.lights = lights_;
+  view.moving = moving_;
+  view.current_moves = current_move_;
+  view.time = time;
+  return view;
+}
+
+void ExecutionCore::notify_run_begin() {
+  for (RunObserver* o : observers_) o->on_run_begin(world(0.0));
+}
+
+void ExecutionCore::notify_round(std::uint64_t round, double time) {
+  for (RunObserver* o : observers_) o->on_round(round, time, world(time));
+}
+
+void ExecutionCore::notify_run_end(double time) {
+  for (RunObserver* o : observers_) o->on_run_end(world(time));
+}
+
+void ExecutionCore::notify_commit(const CommitEvent& event, double time) {
+  for (RunObserver* o : observers_) o->on_commit(event, world(time));
+}
+
+model::LocalFrame ExecutionCore::make_frame(std::size_t robot,
+                                            geom::Vec2 origin) {
+  if (config_.refresh_frames_each_look) {
+    return model::LocalFrame::random(origin, look_frame_rng_);
+  }
+  const FrameParams& p = frame_params_[robot];
+  return model::LocalFrame{origin, p.rotation, p.scale, p.reflected};
+}
+
+void ExecutionCore::finalize(RunResult& result, bool converged,
+                             double final_time) const {
+  result.converged = converged;
+  result.final_time = final_time;
+  result.total_cycles = total_cycles_;
+  result.total_moves = total_moves_;
+  result.total_distance = total_distance_;
+  result.final_positions = positions_;
+  result.final_lights = lights_;
+  for (std::size_t i = 0; i < lights_seen_.size(); ++i) {
+    if (lights_seen_[i]) result.lights_seen[i] = true;
+  }
+  // Convergence time is the LAST state change, not the (later) instant at
+  // which quiescence became detectable; count one extra epoch so the final
+  // observing cycle is included, matching the theoretical measure.
+  result.epochs = n_ == 0 ? 0 : epochs_.count_epochs(last_change_) + 1;
+}
+
+}  // namespace lumen::sim

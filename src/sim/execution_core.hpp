@@ -1,0 +1,162 @@
+// lumen_sim: the shared execution core behind both engines.
+//
+// ExecutionCore owns everything the ASYNC event loop and the SYNC round loop
+// used to duplicate: the world state (positions, lights, moves in flight),
+// the local-frame policy, the non-rigid motion adversary, streaming result
+// accounting (cycles, epochs, move totals, lights audit) and the observer
+// fan-out. The engines in engine.cpp reduce to thin drivers that own only
+// their scheduling shape — an event queue with a timing adversary (ASYNC)
+// or an activation policy over unit rounds (SYNC) — and call into the core
+// for every Look / commit / move completion.
+//
+// The core is deliberately scheduling-agnostic: commit_async and commit_sync
+// differ only in how time is stamped (commit instant + sampled duration vs
+// the round's [t0, t1]) and in when the position write lands (immediately
+// scheduled vs deferred to the round's completion sweep).
+//
+// Determinism: the core draws randomness ONLY from streams the driver hands
+// it (motion adversary draws come from the driver's rng so the historical
+// stream interleavings are preserved bit-for-bit), plus the look-frame
+// stream it is explicitly given. run_simulation results are bit-identical
+// to the pre-refactor engines; tests/sim_golden_test.cpp pins that.
+#pragma once
+
+#include "model/frame.hpp"
+#include "model/snapshot.hpp"
+#include "sched/epoch.hpp"
+#include "sim/run.hpp"
+#include "util/prng.hpp"
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace lumen::sim {
+
+class ExecutionCore {
+ public:
+  ExecutionCore(const model::Algorithm& algorithm,
+                std::span<const geom::Vec2> initial, const RunConfig& config,
+                std::span<RunObserver* const> observers);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t total_cycles() const noexcept { return total_cycles_; }
+  [[nodiscard]] std::span<const geom::Vec2> positions() const noexcept {
+    return positions_;
+  }
+
+  /// Derives a named substream from the master seed (pure; the driver
+  /// controls which streams exist and in what roles, as the engines did).
+  [[nodiscard]] util::Prng split_stream(std::string_view tag) const noexcept;
+
+  /// Draws each robot's persistent frame parameters (used when
+  /// refresh_frames_each_look is false) from `frame_rng`, in robot order.
+  void seed_frames(util::Prng frame_rng);
+
+  /// Installs the stream consumed when refresh_frames_each_look is true.
+  void set_look_frame_stream(util::Prng rng) { look_frame_rng_ = rng; }
+
+  /// Marks the start of robot's next LCM cycle at `time` (Wait phase).
+  void begin_cycle(std::size_t robot, double time);
+
+  /// Look + Compute at `time`: snapshots the instantaneous world (movers
+  /// interpolated), runs the algorithm and parks the world-frame action as
+  /// pending. Allocation-free in steady state: the world buffer, the
+  /// visibility scratch and the Snapshot are all reused across Looks.
+  void look(std::size_t robot, double time);
+
+  /// ASYNC commit at `now`: applies the pending light, runs the non-rigid
+  /// motion adversary (drawing from `motion_rng`), and either starts a move
+  /// of `move_duration` (returns true; the driver schedules its completion)
+  /// or ends the cycle as a null commit (returns false).
+  bool commit_async(std::size_t robot, double now, double move_duration,
+                    util::Prng& motion_rng);
+
+  /// SYNC commit for the round [t0, t1]: same semantics with unit-interval
+  /// move segments and the position write deferred until complete_move —
+  /// every activated robot Looks and commits against the pre-round world.
+  bool commit_sync(std::size_t robot, double t0, double t1,
+                   util::Prng& motion_rng);
+
+  /// Lands the in-flight move of `robot` at time `t` (its segment's end).
+  void complete_move(std::size_t robot, double t);
+
+  /// Closes robot's cycle at `end` (started at the begin_cycle time): feeds
+  /// the streaming epoch detector and fires on_epoch for any epoch this
+  /// closes.
+  void record_cycle(std::size_t robot, double end);
+
+  /// ASYNC quiescence: nobody moving, no non-null action pending, and every
+  /// robot completed a null cycle observing the post-last-change world.
+  [[nodiscard]] bool quiescent_async() const noexcept;
+
+  /// SYNC quiescence: every robot's latest null Look postdates last change.
+  [[nodiscard]] bool quiescent_sync() const noexcept;
+
+  [[nodiscard]] WorldView world(double time) const noexcept;
+
+  void notify_run_begin();
+  void notify_round(std::uint64_t round, double time);
+  void notify_run_end(double time);
+
+  /// Fills every RunResult field the core accounts for (convergence, times,
+  /// totals, epochs, final configuration, lights audit). The driver sets
+  /// `rounds`; run_simulation moves recorder payloads in afterwards.
+  void finalize(RunResult& result, bool converged, double final_time) const;
+
+ private:
+  [[nodiscard]] geom::Vec2 position_at(std::size_t robot, double t) const noexcept {
+    return moving_[robot] != 0 ? current_move_[robot].at(t) : positions_[robot];
+  }
+
+  /// Non-rigid stopping: the robot always progresses by at least
+  /// min(nonrigid_min_progress, the full distance); rigid moves pass through.
+  [[nodiscard]] geom::Vec2 apply_motion_adversary(geom::Vec2 from, geom::Vec2 to,
+                                                  util::Prng& rng) const;
+
+  [[nodiscard]] model::LocalFrame make_frame(std::size_t robot, geom::Vec2 origin);
+
+  void notify_commit(const CommitEvent& event, double time);
+
+  const model::Algorithm& algo_;
+  const RunConfig& config_;
+  std::size_t n_;
+  util::Prng rng_;
+  util::Prng look_frame_rng_{0};
+  sched::StreamingEpochDetector epochs_;
+  std::size_t epochs_emitted_ = 0;
+  std::span<RunObserver* const> observers_;
+
+  double last_change_ = 0.0;
+  std::size_t total_cycles_ = 0;
+  std::size_t total_moves_ = 0;
+  double total_distance_ = 0.0;
+
+  std::vector<geom::Vec2> positions_;
+  std::vector<model::Light> lights_;
+  std::vector<std::uint8_t> moving_;
+  std::vector<MoveSegment> current_move_;
+  std::vector<double> cycle_start_;
+  std::vector<double> look_time_;
+  std::vector<model::Action> pending_;
+  std::vector<std::uint8_t> pending_null_;
+  std::vector<double> last_null_look_;
+  std::vector<std::uint8_t> in_wait_;
+
+  struct FrameParams {
+    double rotation = 0.0;
+    double scale = 1.0;
+    bool reflected = false;
+  };
+  std::vector<FrameParams> frame_params_;
+  std::array<bool, model::kLightCount> lights_seen_{};
+
+  // Look-path scratch (reused; no steady-state allocation).
+  std::vector<geom::Vec2> world_scratch_;
+  model::SnapshotScratch snapshot_scratch_;
+  model::Snapshot snapshot_;
+};
+
+}  // namespace lumen::sim

@@ -27,16 +27,20 @@ double min_distance_linear_motion(geom::Vec2 a0, geom::Vec2 a1, geom::Vec2 b0,
   return dist_best;
 }
 
+namespace detail {
+
+geom::Vec2 piece_at(const Piece& pc, double t) noexcept {
+  if (pc.t1 <= pc.t0) return pc.p0;
+  const double s = std::clamp((t - pc.t0) / (pc.t1 - pc.t0), 0.0, 1.0);
+  return geom::lerp(pc.p0, pc.p1, s);
+}
+
+}  // namespace detail
+
 namespace {
 
-/// A maximal interval during which a robot's motion is a single linear
-/// function of time (either one MoveSegment or an idle stretch).
-struct Piece {
-  double t0 = 0.0;
-  double t1 = 0.0;
-  geom::Vec2 p0{};
-  geom::Vec2 p1{};
-};
+using detail::Piece;
+using detail::piece_at;
 
 std::vector<Piece> pieces_of(const Trajectory& traj, double horizon) {
   std::vector<Piece> pieces;
@@ -50,12 +54,6 @@ std::vector<Piece> pieces_of(const Trajectory& traj, double horizon) {
   }
   if (t < horizon) pieces.push_back({t, horizon, p, p});
   return pieces;
-}
-
-geom::Vec2 piece_at(const Piece& pc, double t) noexcept {
-  if (pc.t1 <= pc.t0) return pc.p0;
-  const double s = std::clamp((t - pc.t0) / (pc.t1 - pc.t0), 0.0, 1.0);
-  return geom::lerp(pc.p0, pc.p1, s);
 }
 
 void note_incident(CollisionReport& report, std::size_t a, std::size_t b,

@@ -21,6 +21,23 @@
 
 namespace lumen::sim {
 
+namespace detail {
+
+/// A maximal interval during which a robot's motion is a single linear
+/// function of time (either one MoveSegment or an idle stretch). Shared by
+/// the post-hoc audit and the streaming monitor so both evaluate closest
+/// approaches on bit-identical arguments.
+struct Piece {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  geom::Vec2 p0{};
+  geom::Vec2 p1{};
+};
+
+[[nodiscard]] geom::Vec2 piece_at(const Piece& pc, double t) noexcept;
+
+}  // namespace detail
+
 struct CollisionIncident {
   std::size_t robot_a = 0;
   std::size_t robot_b = 0;

@@ -1,0 +1,50 @@
+#include "sim/observer.hpp"
+
+#include "geom/hull.hpp"
+
+#include <algorithm>
+
+namespace lumen::sim {
+
+namespace {
+
+/// Census of strict hull corners vs the rest.
+HullSample hull_census(double time, std::span<const geom::Vec2> positions) {
+  const auto hull = geom::convex_hull_indices(positions);
+  HullSample s;
+  s.time = time;
+  // A degenerate (collinear) hull reports its two extremes as "corners".
+  s.corners = hull.size();
+  s.non_corners = positions.size() - std::min(hull.size(), positions.size());
+  return s;
+}
+
+}  // namespace
+
+void HullHistoryRecorder::on_run_begin(const WorldView& world) {
+  samples_.push_back(hull_census(0.0, world.positions));
+}
+
+void HullHistoryRecorder::on_move_complete(const MoveSegment& move,
+                                           const WorldView& world) {
+  if (per_round_) return;
+  sample(move.t1, world);
+}
+
+void HullHistoryRecorder::on_round(std::uint64_t, double time,
+                                   const WorldView& world) {
+  if (!per_round_) return;
+  sample(time, world);
+}
+
+void HullHistoryRecorder::sample(double time, const WorldView& world) {
+  // ASYNC: other robots may be mid-move at this instant; census their
+  // interpolated positions, as the engine always has.
+  world_scratch_.resize(world.size());
+  for (std::size_t j = 0; j < world.size(); ++j) {
+    world_scratch_[j] = world.position_at(j, time);
+  }
+  samples_.push_back(hull_census(time, world_scratch_));
+}
+
+}  // namespace lumen::sim

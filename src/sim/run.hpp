@@ -12,6 +12,7 @@
 #include "sched/activation.hpp"
 #include "sched/adversary.hpp"
 #include "sched/epoch.hpp"
+#include "sim/observer.hpp"
 #include "sim/trajectory.hpp"
 
 #include <array>
@@ -40,6 +41,11 @@ struct RunConfig {
   bool refresh_frames_each_look = true;
   /// Record hull corner counts over time (costs O(N log N) per move).
   bool record_hull_history = false;
+  /// Retain the full move log in RunResult::moves. On by default for
+  /// single-run workflows (traces, SVG, post-hoc audits); campaigns switch
+  /// it off and audit with the streaming collision monitor instead, so a
+  /// run's memory no longer grows with its length.
+  bool record_moves = true;
   /// Rigid movement: a moving robot always reaches its target. When false
   /// (the NON-RIGID model variant), the adversary may stop the robot
   /// anywhere along its path as long as it travels at least
@@ -47,13 +53,6 @@ struct RunConfig {
   /// guarantee that keeps Zeno behaviours out.
   bool rigid_moves = true;
   double nonrigid_min_progress = 0.5;
-};
-
-/// Corner census at one instant (for the doubling experiment, claim C6).
-struct HullSample {
-  double time = 0.0;
-  std::size_t corners = 0;       ///< Strict hull vertices.
-  std::size_t non_corners = 0;   ///< Robots not yet in convex position.
 };
 
 struct RunResult {
@@ -67,6 +66,8 @@ struct RunResult {
   std::vector<geom::Vec2> initial_positions;
   std::vector<geom::Vec2> final_positions;
   std::vector<model::Light> final_lights;
+  /// Full move log — populated only when RunConfig::record_moves is set
+  /// (the default). total_moves / total_distance are always maintained.
   std::vector<MoveSegment> moves;
   std::vector<HullSample> hull_history;
   /// lights_seen[i] is true iff color kAllLights[i] was ever displayed.
@@ -86,5 +87,14 @@ struct RunResult {
 [[nodiscard]] RunResult run_simulation(const model::Algorithm& algorithm,
                                        std::span<const geom::Vec2> initial,
                                        const RunConfig& config);
+
+/// As above, with additional streaming observers attached for the duration
+/// of the run (hull/move recorders implied by `config` are attached on top;
+/// see observer.hpp for the hook contract). Observer callbacks never affect
+/// the execution: results are bit-identical with and without observers.
+[[nodiscard]] RunResult run_simulation(const model::Algorithm& algorithm,
+                                       std::span<const geom::Vec2> initial,
+                                       const RunConfig& config,
+                                       std::span<RunObserver* const> observers);
 
 }  // namespace lumen::sim

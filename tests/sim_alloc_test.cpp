@@ -1,0 +1,109 @@
+// Steady-state allocation audit for the Look path.
+//
+// The engines snapshot the world on every Look; the scratch overloads of
+// geom::visible_from and model::build_snapshot must therefore be heap-free
+// once their buffers are warm, or a long campaign spends its time in the
+// allocator. The test TU replaces global operator new/delete with counting
+// versions and asserts zero allocations across warmed-up calls.
+#include "geom/visibility.hpp"
+#include "model/frame.hpp"
+#include "model/snapshot.hpp"
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace {
+
+std::size_t g_alloc_count = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lumen {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Vec2> ring_of_points(std::size_t n) {
+  util::Prng rng(99);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(Vec2{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)});
+  }
+  return pts;
+}
+
+TEST(LookPathAllocations, VisibleFromScratchOverloadIsAllocationFree) {
+  const auto pts = ring_of_points(64);
+  geom::VisibilityScratch scratch;
+  std::vector<std::size_t> out;
+  // Warm the scratch buffers to steady-state capacity.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    geom::visible_from(pts, i, scratch, out);
+  }
+  const std::size_t before = g_alloc_count;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      geom::visible_from(pts, i, scratch, out);
+      ASSERT_FALSE(out.empty());
+    }
+  }
+  EXPECT_EQ(g_alloc_count, before)
+      << "warm visible_from must not touch the heap";
+}
+
+TEST(LookPathAllocations, BuildSnapshotScratchOverloadIsAllocationFree) {
+  const auto pts = ring_of_points(64);
+  const std::vector<model::Light> lights(pts.size(), model::Light::kOff);
+  util::Prng frame_rng(7);
+  model::SnapshotScratch scratch;
+  model::Snapshot snap;
+  // Warm up: every observer once, so visible-list capacities peak.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const model::LocalFrame frame = model::LocalFrame::random(pts[i], frame_rng);
+    model::build_snapshot(pts, lights, i, frame, scratch, snap);
+  }
+  const std::size_t before = g_alloc_count;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const model::LocalFrame frame =
+          model::LocalFrame::random(pts[i], frame_rng);
+      model::build_snapshot(pts, lights, i, frame, scratch, snap);
+      ASSERT_FALSE(snap.visible.empty());
+    }
+  }
+  EXPECT_EQ(g_alloc_count, before)
+      << "the warmed Look snapshot path must not touch the heap";
+}
+
+TEST(LookPathAllocations, AllocationCounterActuallyCounts) {
+  const std::size_t before = g_alloc_count;
+  std::vector<int>* v = new std::vector<int>(100);
+  EXPECT_GT(g_alloc_count, before);
+  delete v;
+}
+
+}  // namespace
+}  // namespace lumen
