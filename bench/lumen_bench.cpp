@@ -1,0 +1,268 @@
+// lumen-bench: the single driver for every paper-reproduction experiment.
+//
+//   lumen-bench list [--names-only]
+//   lumen-bench describe <experiment>
+//   lumen-bench run <experiment|all> [flags]
+//
+// Each experiment (E1-E6, E8) lives in the analysis::ExperimentRegistry;
+// this binary only resolves the spec (defaults -> --spec file -> flag
+// overrides), runs it, and hands the structured result to a Reporter.
+// E7 (microbenchmarks) stays in the separate bench_micro binary because
+// google-benchmark owns its harness.
+//
+// Exit codes: 0 all checks passed (or --smoke), 1 a claim check failed,
+// 2 usage/spec error.
+
+#include "analysis/experiments.hpp"
+#include "analysis/reporter.hpp"
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace lumen;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: lumen-bench <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  list [--names-only]      list registered experiments\n"
+        "  describe <experiment>    description + default spec JSON\n"
+        "  run <experiment|all>     run one experiment (or every one)\n"
+        "\n"
+        "run flags:\n"
+        "  --spec=FILE        load a ScenarioSpec JSON (overrides defaults)\n"
+        "  --ns=8,16,32       sweep sizes (fixed-N experiments use the first)\n"
+        "  --baseline-ns=...  comparator sweep sizes (E1)\n"
+        "  --runs=N           seeds per point\n"
+        "  --seed-base=S      run i uses seed S+i\n"
+        "  --algorithm=NAME   algorithm under test\n"
+        "  --family=NAME      default configuration family\n"
+        "  --shard=I/K        run seed indices i with i%K == I; merged\n"
+        "                     shards are bit-identical to an unsharded run\n"
+        "  --format=pretty|csv|json   reporter (default pretty)\n"
+        "  --out=FILE         write the report to FILE instead of stdout\n"
+        "  --save-spec=FILE   write the resolved spec JSON and continue\n"
+        "  --smoke            shrink the spec to a seconds-long sanity run;\n"
+        "                     claim checks are reported but not enforced\n";
+  return code;
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  const bool names_only =
+      std::find(args.begin(), args.end(), "--names-only") != args.end();
+  for (const auto& e : analysis::ExperimentRegistry::instance().experiments()) {
+    if (names_only) {
+      std::cout << e.name << "\n";
+    } else {
+      std::printf("%-4s %-12s %s\n", e.id.c_str(), e.name.c_str(),
+                  e.description.substr(0, e.description.find(':')).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_describe(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "error: describe needs an experiment name\n";
+    return 2;
+  }
+  const auto* e = analysis::ExperimentRegistry::instance().find(args[0]);
+  if (e == nullptr) {
+    std::cerr << "error: unknown experiment \"" << args[0]
+              << "\" (try `lumen-bench list`)\n";
+    return 2;
+  }
+  std::cout << e->id << " " << e->name << "\n\n"
+            << e->description << "\n\ndefault spec:\n"
+            << analysis::scenario_to_json(e->defaults);
+  return 0;
+}
+
+/// Shrinks a spec so every experiment finishes in seconds: at most two
+/// sweep sizes, each clamped to <= 16 robots, at most two seeds.
+analysis::ScenarioSpec smoke_spec(analysis::ScenarioSpec spec) {
+  const auto shrink = [](std::vector<std::size_t>& ns) {
+    if (ns.size() > 2) ns.resize(2);
+    for (auto& n : ns) n = std::min<std::size_t>(n, 16);
+  };
+  shrink(spec.ns);
+  if (!spec.baseline_ns.empty()) shrink(spec.baseline_ns);
+  spec.runs = std::min<std::size_t>(spec.runs, 2);
+  return spec;
+}
+
+bool apply_overrides(const util::Cli& cli, analysis::ScenarioSpec& spec,
+                     std::string& error) {
+  const auto int_list = [&](std::string_view flag,
+                            std::vector<std::size_t>& out) {
+    if (!cli.is_set(flag)) return true;
+    const auto values = cli.get_int_list(flag);
+    if (!values || values->empty() ||
+        std::any_of(values->begin(), values->end(),
+                    [](std::int64_t v) { return v <= 0; })) {
+      error = std::string("--") + std::string(flag) +
+              " must be a comma-separated list of positive integers";
+      return false;
+    }
+    out.assign(values->begin(), values->end());
+    return true;
+  };
+  if (!int_list("ns", spec.ns)) return false;
+  if (!int_list("baseline-ns", spec.baseline_ns)) return false;
+  if (cli.is_set("runs")) {
+    if (cli.get_int("runs") <= 0) {
+      error = "--runs must be positive";
+      return false;
+    }
+    spec.runs = static_cast<std::size_t>(cli.get_int("runs"));
+  }
+  if (cli.is_set("seed-base")) {
+    spec.seed_base = static_cast<std::uint64_t>(cli.get_int("seed-base"));
+  }
+  if (cli.is_set("algorithm")) spec.algorithm = cli.get("algorithm");
+  if (cli.is_set("family")) {
+    const auto family = gen::family_from_string(cli.get("family"));
+    if (!family) {
+      error = "unknown --family \"" + cli.get("family") + "\"";
+      return false;
+    }
+    spec.family = *family;
+  }
+  if (cli.is_set("shard")) {
+    const std::string shard = cli.get("shard");
+    const auto slash = shard.find('/');
+    const auto index = util::parse_int_list(shard.substr(0, slash));
+    const auto count = slash == std::string::npos
+                           ? std::nullopt
+                           : util::parse_int_list(shard.substr(slash + 1));
+    if (!index || !count || index->size() != 1 || count->size() != 1 ||
+        (*index)[0] < 0 || (*count)[0] <= 0 || (*index)[0] >= (*count)[0]) {
+      error = "--shard must be I/K with 0 <= I < K";
+      return false;
+    }
+    spec.shard_index = static_cast<std::size_t>((*index)[0]);
+    spec.shard_count = static_cast<std::size_t>((*count)[0]);
+  }
+  return true;
+}
+
+int cmd_run(const std::vector<std::string>& raw_args) {
+  util::Cli cli;
+  cli.flag("spec", "ScenarioSpec JSON file overriding the defaults");
+  cli.flag("ns", "sweep sizes, e.g. 8,16,32");
+  cli.flag("baseline-ns", "comparator sweep sizes (E1)");
+  cli.flag("runs", "seeds per point");
+  cli.flag("seed-base", "run i uses seed seed-base + i");
+  cli.flag("algorithm", "algorithm under test");
+  cli.flag("family", "default configuration family");
+  cli.flag("shard", "I/K seed-range shard");
+  cli.flag("format", "pretty|csv|json", "pretty");
+  cli.flag("out", "write the report to this file instead of stdout");
+  cli.flag("save-spec", "write the resolved spec JSON to this file");
+  cli.flag("smoke", "tiny sanity run; checks reported, not enforced");
+
+  std::vector<const char*> argv = {"lumen-bench run"};
+  for (const auto& a : raw_args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    std::cerr << "error: " << cli.error() << "\n";
+    return 2;
+  }
+  if (cli.help_requested()) return usage(std::cout, 0);
+  if (cli.positional().empty()) {
+    std::cerr << "error: run needs an experiment name (or `all`)\n";
+    return 2;
+  }
+
+  const auto& registry = analysis::ExperimentRegistry::instance();
+  std::vector<const analysis::Experiment*> selected;
+  if (cli.positional()[0] == "all") {
+    for (const auto& e : registry.experiments()) selected.push_back(&e);
+  } else {
+    for (const auto& name : cli.positional()) {
+      const auto* e = registry.find(name);
+      if (e == nullptr) {
+        std::cerr << "error: unknown experiment \"" << name
+                  << "\" (try `lumen-bench list`)\n";
+        return 2;
+      }
+      selected.push_back(e);
+    }
+  }
+
+  const auto reporter = analysis::make_reporter(cli.get("format"));
+  if (reporter == nullptr) {
+    std::cerr << "error: unknown --format \"" << cli.get("format") << "\" ("
+              << analysis::reporter_formats() << ")\n";
+    return 2;
+  }
+
+  std::ofstream out_file;
+  if (cli.is_set("out")) {
+    out_file.open(cli.get("out"));
+    if (!out_file) {
+      std::cerr << "error: cannot open --out file " << cli.get("out") << "\n";
+      return 2;
+    }
+  }
+  std::ostream& out = cli.is_set("out") ? out_file : std::cout;
+
+  const bool smoke = cli.get_bool("smoke");
+  bool all_passed = true;
+  bool first = true;
+  for (const auto* experiment : selected) {
+    analysis::ScenarioSpec spec = experiment->defaults;
+    if (cli.is_set("spec")) {
+      auto parsed = analysis::load_scenario(cli.get("spec"));
+      if (!parsed.spec) {
+        std::cerr << "error: --spec: " << parsed.error << "\n";
+        return 2;
+      }
+      spec = *parsed.spec;
+    }
+    std::string error;
+    if (!apply_overrides(cli, spec, error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    if (smoke) spec = smoke_spec(spec);
+    if (cli.is_set("save-spec") &&
+        !analysis::save_scenario(spec, cli.get("save-spec"))) {
+      std::cerr << "error: cannot write --save-spec file "
+                << cli.get("save-spec") << "\n";
+      return 2;
+    }
+
+    const auto result = experiment->run(spec, nullptr);
+    if (!first) out << "\n";
+    first = false;
+    reporter->report(result, out);
+    all_passed = all_passed && result.passed();
+  }
+  // Smoke specs are far below the sizes the claim thresholds were
+  // calibrated for (E1 needs >= 4 sweep points), so only report verdicts.
+  if (smoke) return 0;
+  return all_passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "--help" || command == "help" || command == "-h") {
+    return usage(std::cout, 0);
+  }
+  if (command == "list") return cmd_list(rest);
+  if (command == "describe") return cmd_describe(rest);
+  if (command == "run") return cmd_run(rest);
+  std::cerr << "error: unknown command \"" << command << "\"\n\n";
+  return usage(std::cerr, 2);
+}

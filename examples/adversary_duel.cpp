@@ -28,9 +28,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  gen::ConfigFamily family = gen::ConfigFamily::kUniformDisk;
-  for (const auto f : gen::all_families()) {
-    if (gen::to_string(f) == cli.get("family")) family = f;
+  const auto family = gen::family_from_string(cli.get("family"));
+  if (!family) {
+    std::fprintf(stderr, "unknown family '%s'\n", cli.get("family").c_str());
+    return 2;
   }
 
   util::Table table({"algorithm", "adversary", "converged", "visible",
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
           sched::AdversaryKind::kStallOne, sched::AdversaryKind::kLockstep}) {
       analysis::CampaignSpec spec;
       spec.algorithm = std::string(algorithm);
-      spec.family = family;
+      spec.family = *family;
       spec.n = static_cast<std::size_t>(cli.get_int("n"));
       spec.runs = static_cast<std::size_t>(cli.get_int("seeds"));
       spec.run.adversary = adversary;

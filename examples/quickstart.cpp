@@ -16,18 +16,6 @@
 #include <cstdio>
 #include <string>
 
-namespace {
-
-lumen::gen::ConfigFamily family_by_name(const std::string& name) {
-  for (const auto f : lumen::gen::all_families()) {
-    if (lumen::gen::to_string(f) == name) return f;
-  }
-  std::fprintf(stderr, "unknown family '%s', using uniform-disk\n", name.c_str());
-  return lumen::gen::ConfigFamily::kUniformDisk;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   lumen::util::Cli cli;
   cli.flag("n", "number of robots", "32")
@@ -50,23 +38,30 @@ int main(int argc, char** argv) {
 
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const auto family = family_by_name(cli.get("family"));
+  const auto family = lumen::gen::family_from_string(cli.get("family"));
+  if (!family) {
+    std::fprintf(stderr, "unknown family '%s'\n", cli.get("family").c_str());
+    return 2;
+  }
 
   // 1. A seeded initial configuration.
-  const auto initial = lumen::gen::generate(family, n, seed);
+  const auto initial = lumen::gen::generate(*family, n, seed);
 
   // 2. The algorithm, by registry name.
   const auto algorithm = lumen::core::make_algorithm(cli.get("algo"));
 
   // 3. One asynchronous execution.
   lumen::sim::RunConfig config;
-  config.scheduler = lumen::sim::SchedulerKind::kAsync;
-  if (cli.get("scheduler") == "ssync") config.scheduler = lumen::sim::SchedulerKind::kSsync;
-  if (cli.get("scheduler") == "fsync") config.scheduler = lumen::sim::SchedulerKind::kFsync;
-  config.adversary = lumen::sched::AdversaryKind::kUniform;
-  if (cli.get("adversary") == "bursty") config.adversary = lumen::sched::AdversaryKind::kBursty;
-  if (cli.get("adversary") == "stall-one") config.adversary = lumen::sched::AdversaryKind::kStallOne;
-  if (cli.get("adversary") == "lockstep") config.adversary = lumen::sched::AdversaryKind::kLockstep;
+  const auto scheduler = lumen::sim::scheduler_from_string(cli.get("scheduler"));
+  const auto adversary = lumen::sched::adversary_from_string(cli.get("adversary"));
+  if (!scheduler || !adversary) {
+    std::fprintf(stderr, "unknown %s '%s'\n",
+                 scheduler ? "adversary" : "scheduler",
+                 (scheduler ? cli.get("adversary") : cli.get("scheduler")).c_str());
+    return 2;
+  }
+  config.scheduler = *scheduler;
+  config.adversary = *adversary;
   config.seed = seed;
   const auto run = lumen::sim::run_simulation(*algorithm, initial, config);
 
@@ -77,7 +72,7 @@ int main(int argc, char** argv) {
 
   std::printf("algorithm            : %s\n", std::string(algorithm->name()).c_str());
   std::printf("robots               : %zu (%s, seed %llu)\n", n,
-              std::string(lumen::gen::to_string(family)).c_str(),
+              std::string(lumen::gen::to_string(*family)).c_str(),
               static_cast<unsigned long long>(seed));
   std::printf("converged            : %s\n", run.converged ? "yes" : "NO");
   std::printf("epochs               : %zu\n", run.epochs);

@@ -31,14 +31,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  gen::ConfigFamily family = gen::ConfigFamily::kRingWithCore;
-  for (const auto f : gen::all_families()) {
-    if (gen::to_string(f) == cli.get("family")) family = f;
+  const auto family = gen::family_from_string(cli.get("family"));
+  if (!family) {
+    std::fprintf(stderr, "unknown family '%s'\n", cli.get("family").c_str());
+    return 2;
   }
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  const auto initial = gen::generate(family, n, seed);
+  const auto initial = gen::generate(*family, n, seed);
   const auto algorithm = core::make_algorithm(cli.get("algo"));
   sim::RunConfig config;
   config.seed = seed;

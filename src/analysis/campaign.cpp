@@ -53,12 +53,19 @@ util::Summary CampaignResult::moves() const {
 CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
   CampaignResult result;
   result.spec = spec;
-  result.runs.resize(spec.runs);
+  const std::size_t shards = spec.shard_count == 0 ? 1 : spec.shard_count;
+  // This shard's run indices, in ascending seed order.
+  std::vector<std::size_t> indices;
+  indices.reserve(spec.runs / shards + 1);
+  for (std::size_t i = spec.shard_index % shards; i < spec.runs; i += shards) {
+    indices.push_back(i);
+  }
+  result.runs.resize(indices.size());
   const auto algorithm = core::make_algorithm(spec.algorithm);
   util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
 
-  workers.parallel_for(spec.runs, [&](std::size_t i) {
-    const std::uint64_t seed = spec.seed_base + i;
+  workers.parallel_for(indices.size(), [&](std::size_t slot) {
+    const std::uint64_t seed = spec.seed_base + indices[slot];
     const auto initial =
         gen::generate(spec.family, spec.n, seed, spec.min_separation);
     sim::RunConfig config = spec.run;
@@ -91,7 +98,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
       m.path_crossings = report.path_crossings;
       m.position_collisions = report.position_collisions;
     }
-    result.runs[i] = m;
+    result.runs[slot] = m;
   });
   return result;
 }

@@ -32,6 +32,13 @@ struct CampaignSpec {
   /// off for big sweeps where only convergence metrics matter.
   bool audit_collisions = true;
   double collision_tolerance = 0.0;
+  /// Deterministic seed-range sharding: shard j of k executes exactly the
+  /// runs whose index i (seed seed_base + i) satisfies i % shard_count ==
+  /// shard_index. Each run is deterministic in its seed, so the k shard
+  /// results, merged by seed, are bit-identical to the unsharded campaign —
+  /// big sweeps split across machines without changing a single metric.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 struct RunMetrics {

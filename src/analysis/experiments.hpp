@@ -1,0 +1,81 @@
+// lumen_analysis: the experiment registry.
+//
+// Each of the paper-reproduction experiments (E1-E6, E8) is a library-level
+// Experiment: a name, a description, a default ScenarioSpec, and a run
+// function that reduces campaigns to a structured ExperimentResult (typed
+// rows + free-text notes + named pass/fail checks). The `lumen-bench`
+// driver is a thin shell over this registry — list/describe/run — and the
+// pluggable reporters render the same ExperimentResult as an aligned
+// table, CSV, or JSON. Experiment bodies were moved verbatim from the
+// former ad-hoc bench_*.cpp binaries so the printed metric values are
+// unchanged (tested in analysis_experiments_test.cpp).
+#pragma once
+
+#include "analysis/scenario.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lumen::analysis {
+
+/// One table cell: the formatted text every reporter shows, plus the raw
+/// number (when the cell is numeric) for machine-readable output.
+struct MetricCell {
+  std::string text;
+  std::optional<double> value;
+};
+
+[[nodiscard]] MetricCell cell(std::string_view text);
+[[nodiscard]] MetricCell cell(double value, int precision = 3);
+[[nodiscard]] MetricCell cell(std::size_t value);
+
+struct ExperimentResult {
+  std::string experiment;  ///< Registry name.
+  std::string title;       ///< Table caption.
+  std::vector<std::string> columns;
+  std::vector<std::vector<MetricCell>> rows;
+  /// Free-text findings printed after the table (fits, ratios, caveats).
+  std::vector<std::string> notes;
+  /// Named claim verdicts; the driver's exit code is all-of.
+  struct Check {
+    std::string label;
+    bool passed = false;
+  };
+  std::vector<Check> checks;
+
+  [[nodiscard]] bool passed() const noexcept;
+
+  /// Row-building shorthand used by the experiment bodies.
+  std::vector<MetricCell>& row();
+};
+
+struct Experiment {
+  std::string name;         ///< Stable CLI name, e.g. "time-vs-n".
+  std::string id;           ///< Paper-record id, e.g. "E1".
+  std::string description;  ///< One-paragraph what/why.
+  ScenarioSpec defaults;    ///< The spec the experiment runs without overrides.
+  /// Executes the experiment. The pool (nullptr -> util::global_pool())
+  /// only sets parallelism; results are bit-identical for any pool size.
+  std::function<ExperimentResult(const ScenarioSpec&, util::ThreadPool*)> run;
+};
+
+class ExperimentRegistry {
+ public:
+  /// The process-wide registry with all built-in experiments.
+  [[nodiscard]] static const ExperimentRegistry& instance();
+
+  [[nodiscard]] const std::vector<Experiment>& experiments() const noexcept {
+    return experiments_;
+  }
+  /// Lookup by name or id ("time-vs-n" or "E1"); nullptr when unknown.
+  [[nodiscard]] const Experiment* find(std::string_view name_or_id) const noexcept;
+
+ private:
+  ExperimentRegistry();
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace lumen::analysis

@@ -1,0 +1,95 @@
+#include "analysis/reporter.hpp"
+
+#include "util/table.hpp"
+
+#include <ostream>
+
+namespace lumen::analysis {
+
+namespace {
+
+util::Table to_table(const ExperimentResult& result) {
+  util::Table table(result.columns);
+  for (const auto& row : result.rows) {
+    table.row();
+    for (const auto& c : row) table.cell(c.text);
+  }
+  return table;
+}
+
+class PrettyReporter final : public Reporter {
+ public:
+  void report(const ExperimentResult& result, std::ostream& os) const override {
+    to_table(result).print(os, result.title);
+    if (!result.notes.empty()) os << "\n";
+    for (const auto& note : result.notes) os << note << "\n";
+    for (const auto& check : result.checks) {
+      os << (check.passed ? "  [PASS] " : "  [FAIL] ") << check.label << "\n";
+    }
+  }
+};
+
+class CsvReporter final : public Reporter {
+ public:
+  void report(const ExperimentResult& result, std::ostream& os) const override {
+    to_table(result).write_csv(os);
+  }
+};
+
+class JsonReporter final : public Reporter {
+ public:
+  void report(const ExperimentResult& result, std::ostream& os) const override {
+    os << util::json_write(result_to_json(result)) << "\n";
+  }
+};
+
+}  // namespace
+
+util::JsonValue result_to_json(const ExperimentResult& result) {
+  util::JsonValue obj = util::JsonValue::object();
+  obj.set("experiment", util::JsonValue::string(result.experiment));
+  obj.set("title", util::JsonValue::string(result.title));
+
+  util::JsonValue columns = util::JsonValue::array();
+  for (const auto& c : result.columns) {
+    columns.push_back(util::JsonValue::string(c));
+  }
+  obj.set("columns", std::move(columns));
+
+  util::JsonValue rows = util::JsonValue::array();
+  for (const auto& row : result.rows) {
+    util::JsonValue cells = util::JsonValue::array();
+    for (const auto& c : row) {
+      cells.push_back(c.value ? util::JsonValue::number(*c.value)
+                              : util::JsonValue::string(c.text));
+    }
+    rows.push_back(std::move(cells));
+  }
+  obj.set("rows", std::move(rows));
+
+  util::JsonValue notes = util::JsonValue::array();
+  for (const auto& n : result.notes) notes.push_back(util::JsonValue::string(n));
+  obj.set("notes", std::move(notes));
+
+  util::JsonValue checks = util::JsonValue::array();
+  for (const auto& check : result.checks) {
+    util::JsonValue entry = util::JsonValue::object();
+    entry.set("label", util::JsonValue::string(check.label));
+    entry.set("passed", util::JsonValue::boolean(check.passed));
+    checks.push_back(std::move(entry));
+  }
+  obj.set("checks", std::move(checks));
+  obj.set("passed", util::JsonValue::boolean(result.passed()));
+  return obj;
+}
+
+std::unique_ptr<Reporter> make_reporter(std::string_view format) {
+  if (format == "pretty") return std::make_unique<PrettyReporter>();
+  if (format == "csv") return std::make_unique<CsvReporter>();
+  if (format == "json") return std::make_unique<JsonReporter>();
+  return nullptr;
+}
+
+std::string_view reporter_formats() noexcept { return "pretty|csv|json"; }
+
+}  // namespace lumen::analysis

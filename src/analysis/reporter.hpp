@@ -1,0 +1,36 @@
+// lumen_analysis: pluggable ExperimentResult renderers.
+//
+// Every output format the lumen-bench driver supports is one Reporter
+// implementation over the same structured ExperimentResult, so the aligned
+// console table, the CSV export and the JSON artifact can never disagree
+// about the values — they differ only in framing.
+#pragma once
+
+#include "analysis/experiments.hpp"
+#include "util/json.hpp"
+
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+
+namespace lumen::analysis {
+
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+  virtual void report(const ExperimentResult& result, std::ostream& os) const = 0;
+};
+
+/// "pretty" (aligned table + notes + check verdicts), "csv" (data rows
+/// only), or "json" (full structure, machine-readable). Unknown format
+/// returns nullptr.
+[[nodiscard]] std::unique_ptr<Reporter> make_reporter(std::string_view format);
+
+/// The formats make_reporter accepts, for usage text.
+[[nodiscard]] std::string_view reporter_formats() noexcept;
+
+/// JSON form of one result (what the "json" reporter writes): columns,
+/// rows (numeric cells as numbers, text cells as strings), notes, checks.
+[[nodiscard]] util::JsonValue result_to_json(const ExperimentResult& result);
+
+}  // namespace lumen::analysis

@@ -1,0 +1,71 @@
+// lumen_analysis: serializable scenario specifications.
+//
+// A ScenarioSpec is the declarative description of an experiment's
+// workload: everything a CampaignSpec carries, plus the sweep dimension
+// (ns), the comparator sweep some experiments run (baseline_ns), and the
+// embedded sim::RunConfig template. Specs serialize to JSON with a
+// ROUND-TRIP GUARANTEE: serialize -> parse -> serialize is byte-identical,
+// so a spec file is a faithful, diffable record of exactly what ran. The
+// schema is documented in DESIGN.md §9.
+#pragma once
+
+#include "analysis/campaign.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lumen::analysis {
+
+struct ScenarioSpec {
+  std::string algorithm = "async-log";
+  gen::ConfigFamily family = gen::ConfigFamily::kUniformDisk;
+  /// Sweep sizes. Fixed-N experiments use the first entry; sweep
+  /// experiments iterate over all of them.
+  std::vector<std::size_t> ns = {32};
+  /// Comparator sweep (used by experiments that also run a baseline
+  /// series, e.g. E1's seq-baseline); empty means "same as ns".
+  std::vector<std::size_t> baseline_ns;
+  std::size_t runs = 20;        ///< Seeds per point.
+  std::uint64_t seed_base = 1;  ///< Run i uses seed seed_base + i.
+  double min_separation = 1e-3;
+  bool audit_collisions = true;
+  double collision_tolerance = 0.0;
+  /// Seed-range sharding (see CampaignSpec): shard shard_index of
+  /// shard_count; merged shard results are bit-identical to a serial run.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Scheduler/adversary/motion template; the per-run seed is overridden
+  /// by the campaign.
+  sim::RunConfig run;
+
+  /// Projects onto the campaign layer at one sweep size.
+  [[nodiscard]] CampaignSpec campaign(std::size_t n) const;
+  /// baseline_ns, defaulting to ns when empty.
+  [[nodiscard]] const std::vector<std::size_t>& baseline_sizes() const noexcept {
+    return baseline_ns.empty() ? ns : baseline_ns;
+  }
+};
+
+/// Deterministic JSON form (fixed key order, exact integers, trailing
+/// newline). The round-trip guarantee is over this function:
+/// scenario_to_json(*scenario_from_json(s).spec) == s for any s it emitted.
+[[nodiscard]] std::string scenario_to_json(const ScenarioSpec& spec);
+
+struct ScenarioParse {
+  std::optional<ScenarioSpec> spec;
+  std::string error;  ///< Human-readable reason when spec is nullopt.
+};
+
+/// Parses a spec document. Missing keys keep their defaults; unknown keys,
+/// type mismatches and out-of-domain values (unknown family name, runs == 0,
+/// shard_index >= shard_count, ...) are errors.
+[[nodiscard]] ScenarioParse scenario_from_json(std::string_view text);
+
+/// File convenience wrappers.
+bool save_scenario(const ScenarioSpec& spec, const std::string& path);
+[[nodiscard]] ScenarioParse load_scenario(const std::string& path);
+
+}  // namespace lumen::analysis

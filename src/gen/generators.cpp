@@ -24,6 +24,13 @@ std::string_view to_string(ConfigFamily f) noexcept {
   return "?";
 }
 
+std::optional<ConfigFamily> family_from_string(std::string_view name) noexcept {
+  for (const auto f : all_families()) {
+    if (to_string(f) == name) return f;
+  }
+  return std::nullopt;
+}
+
 const std::vector<ConfigFamily>& all_families() {
   static const std::vector<ConfigFamily> families = {
       ConfigFamily::kUniformDisk,   ConfigFamily::kUniformSquare,

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -33,6 +34,13 @@ enum class ConfigFamily {
 };
 
 [[nodiscard]] std::string_view to_string(ConfigFamily f) noexcept;
+
+/// Inverse of to_string: exact-name lookup, nullopt for unknown names. This
+/// is THE family parser — CLI boundaries must error out on nullopt instead
+/// of defaulting (a typoed --family silently running uniform-disk is how
+/// sweeps lie).
+[[nodiscard]] std::optional<ConfigFamily> family_from_string(
+    std::string_view name) noexcept;
 
 /// All families, in presentation order.
 [[nodiscard]] const std::vector<ConfigFamily>& all_families();

@@ -12,6 +12,14 @@ std::string_view to_string(ActivationKind k) noexcept {
   return "?";
 }
 
+std::optional<ActivationKind> activation_from_string(std::string_view name) noexcept {
+  for (const auto k : {ActivationKind::kAll, ActivationKind::kRandomHalf,
+                       ActivationKind::kSingleton, ActivationKind::kRandomSingle}) {
+    if (to_string(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 class AllPolicy final : public ActivationPolicy {

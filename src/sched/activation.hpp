@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +27,10 @@ enum class ActivationKind {
 };
 
 [[nodiscard]] std::string_view to_string(ActivationKind k) noexcept;
+
+/// Inverse of to_string: exact-name lookup, nullopt for unknown names.
+[[nodiscard]] std::optional<ActivationKind> activation_from_string(
+    std::string_view name) noexcept;
 
 class ActivationPolicy {
  public:

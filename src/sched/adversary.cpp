@@ -14,6 +14,14 @@ std::string_view to_string(AdversaryKind k) noexcept {
   return "?";
 }
 
+std::optional<AdversaryKind> adversary_from_string(std::string_view name) noexcept {
+  for (const auto k : {AdversaryKind::kUniform, AdversaryKind::kBursty,
+                       AdversaryKind::kStallOne, AdversaryKind::kLockstep}) {
+    if (to_string(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 class UniformAdversary final : public Adversary {

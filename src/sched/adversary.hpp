@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -41,6 +42,10 @@ enum class AdversaryKind {
 };
 
 [[nodiscard]] std::string_view to_string(AdversaryKind k) noexcept;
+
+/// Inverse of to_string: exact-name lookup, nullopt for unknown names.
+[[nodiscard]] std::optional<AdversaryKind> adversary_from_string(
+    std::string_view name) noexcept;
 
 class Adversary {
  public:

@@ -20,6 +20,7 @@
 
 #include "sim/execution_core.hpp"
 
+#include <cctype>
 #include <queue>
 
 namespace lumen::sim {
@@ -31,6 +32,24 @@ std::string_view to_string(SchedulerKind k) noexcept {
     case SchedulerKind::kAsync: return "ASYNC";
   }
   return "?";
+}
+
+std::optional<SchedulerKind> scheduler_from_string(std::string_view name) noexcept {
+  const auto equals_ci = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const auto k :
+       {SchedulerKind::kFsync, SchedulerKind::kSsync, SchedulerKind::kAsync}) {
+    if (equals_ci(to_string(k), name)) return k;
+  }
+  return std::nullopt;
 }
 
 namespace {

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -25,6 +26,11 @@ namespace lumen::sim {
 enum class SchedulerKind { kFsync, kSsync, kAsync };
 
 [[nodiscard]] std::string_view to_string(SchedulerKind k) noexcept;
+
+/// Inverse of to_string. Case-insensitive ("async" == "ASYNC"), nullopt for
+/// unknown names.
+[[nodiscard]] std::optional<SchedulerKind> scheduler_from_string(
+    std::string_view name) noexcept;
 
 struct RunConfig {
   SchedulerKind scheduler = SchedulerKind::kAsync;

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -78,14 +79,28 @@ bool Cli::is_set(std::string_view name) const {
   return values_.find(name) != values_.end();
 }
 
-std::vector<std::int64_t> Cli::get_int_list(std::string_view name) const {
+std::optional<std::vector<std::int64_t>> parse_int_list(std::string_view text) {
   std::vector<std::int64_t> out;
-  std::stringstream ss(get(name));
-  std::string part;
-  while (std::getline(ss, part, ',')) {
-    if (!part.empty()) out.push_back(std::strtoll(part.c_str(), nullptr, 10));
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', start);
+    const std::string part(text.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start));
+    if (part.empty()) return std::nullopt;  // "", "8,,16", "8," all land here.
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(part.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
+    out.push_back(v);
+    if (comma == std::string_view::npos) return out;
+    start = comma + 1;
   }
-  return out;
+}
+
+std::optional<std::vector<std::int64_t>> Cli::get_int_list(
+    std::string_view name) const {
+  return parse_int_list(get(name));
 }
 
 std::string Cli::usage(std::string_view program, std::string_view description) const {

@@ -15,6 +15,13 @@
 
 namespace lumen::util {
 
+/// Strict comma-separated integer list parser: every element must be a
+/// complete base-10 integer ("8,,16", "8x", "8," and "" are all rejected
+/// with nullopt). The shared primitive behind Cli::get_int_list and any
+/// other list-shaped flag.
+[[nodiscard]] std::optional<std::vector<std::int64_t>> parse_int_list(
+    std::string_view text);
+
 class Cli {
  public:
   /// Registers a flag with a help string and a default rendered in --help.
@@ -37,8 +44,11 @@ class Cli {
   [[nodiscard]] bool get_bool(std::string_view name) const;
   [[nodiscard]] bool is_set(std::string_view name) const;
 
-  /// Parses comma-separated integers, e.g. "8,16,32".
-  [[nodiscard]] std::vector<std::int64_t> get_int_list(std::string_view name) const;
+  /// Parses comma-separated integers, e.g. "8,16,32". Malformed lists
+  /// (empty elements, trailing commas, non-numeric junk) return nullopt —
+  /// callers must error out rather than run a garbled sweep.
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> get_int_list(
+      std::string_view name) const;
 
   /// Renders usage text for --help.
   [[nodiscard]] std::string usage(std::string_view program,

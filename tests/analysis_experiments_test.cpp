@@ -1,0 +1,228 @@
+// ExperimentRegistry tests: registry contents and lookup, shape invariants
+// for every registered experiment on a tiny spec, legacy-parity spot checks
+// (the E1 and E4 bodies must compute exactly the metric values the former
+// bench_time_vs_n / bench_collisions binaries printed), and the reporters.
+#include "analysis/experiments.hpp"
+#include "analysis/reporter.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace lumen::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry contents.
+
+TEST(Registry, ListsAllPaperExperiments) {
+  const auto& experiments = ExperimentRegistry::instance().experiments();
+  ASSERT_EQ(experiments.size(), 7u);
+  const char* names[] = {"time-vs-n", "convergence", "colors",  "collisions",
+                         "doubling",  "summary",     "ablation"};
+  const char* ids[] = {"E1", "E2", "E3", "E4", "E5", "E6", "E8"};
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    EXPECT_EQ(experiments[i].name, names[i]);
+    EXPECT_EQ(experiments[i].id, ids[i]);
+    EXPECT_FALSE(experiments[i].description.empty());
+    EXPECT_TRUE(experiments[i].run != nullptr);
+  }
+}
+
+TEST(Registry, FindsByNameAndById) {
+  const auto& registry = ExperimentRegistry::instance();
+  const auto* by_name = registry.find("collisions");
+  const auto* by_id = registry.find("E4");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(by_name, by_id);
+  EXPECT_EQ(registry.find("bogus"), nullptr);
+  EXPECT_EQ(registry.find("E7"), nullptr);  // bench_micro is not registered.
+}
+
+TEST(Registry, DefaultSpecsRoundTripByteIdentically) {
+  for (const auto& e : ExperimentRegistry::instance().experiments()) {
+    const std::string text = scenario_to_json(e.defaults);
+    const auto parsed = scenario_from_json(text);
+    ASSERT_TRUE(parsed.spec.has_value()) << e.name << ": " << parsed.error;
+    EXPECT_EQ(scenario_to_json(*parsed.spec), text) << e.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shape invariants: every experiment, run on a seconds-scale spec, produces
+// a well-formed result (rows as wide as the header, at least one check).
+
+ScenarioSpec tiny(ScenarioSpec spec) {
+  if (spec.ns.size() > 2) spec.ns.resize(2);
+  for (auto& n : spec.ns) n = std::min<std::size_t>(n, 12);
+  if (spec.baseline_ns.size() > 2) spec.baseline_ns.resize(2);
+  for (auto& n : spec.baseline_ns) n = std::min<std::size_t>(n, 12);
+  spec.runs = std::min<std::size_t>(spec.runs, 2);
+  return spec;
+}
+
+TEST(Experiments, EveryExperimentProducesWellFormedResult) {
+  for (const auto& e : ExperimentRegistry::instance().experiments()) {
+    SCOPED_TRACE(e.name);
+    const ExperimentResult result = e.run(tiny(e.defaults), nullptr);
+    EXPECT_EQ(result.experiment, e.name);
+    EXPECT_FALSE(result.title.empty());
+    EXPECT_FALSE(result.columns.empty());
+    EXPECT_FALSE(result.rows.empty());
+    for (const auto& row : result.rows) {
+      EXPECT_EQ(row.size(), result.columns.size());
+    }
+    EXPECT_FALSE(result.checks.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy parity: E1's table rows must carry exactly the campaign metrics the
+// old bench_time_vs_n printed — same seeds, same aggregation, same
+// formatting (including the >= 512 seed cap, exercised at small scale here
+// by construction of the same CampaignSpec).
+
+TEST(Experiments, TimeVsNMatchesDirectCampaignMetrics) {
+  const auto* e = ExperimentRegistry::instance().find("E1");
+  ASSERT_NE(e, nullptr);
+  ScenarioSpec spec;
+  spec.ns = {8, 16};
+  spec.baseline_ns = {8};
+  spec.runs = 3;
+  spec.audit_collisions = false;
+  const ExperimentResult result = e->run(spec, nullptr);
+
+  // Rows: async-log at 8 and 16, then seq-baseline at 8.
+  ASSERT_EQ(result.rows.size(), 3u);
+  const struct {
+    const char* algorithm;
+    std::size_t n;
+  } expected[] = {{"async-log", 8}, {"async-log", 16}, {"seq-baseline", 8}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(i);
+    CampaignSpec campaign = spec.campaign(expected[i].n);
+    campaign.algorithm = expected[i].algorithm;
+    const auto direct = run_campaign(campaign);
+    const auto epochs = direct.epochs();
+    const auto& row = result.rows[i];
+    ASSERT_EQ(row.size(), 8u);
+    EXPECT_EQ(row[0].text, expected[i].algorithm);
+    EXPECT_EQ(row[1].value, static_cast<double>(expected[i].n));
+    EXPECT_EQ(row[2].value, static_cast<double>(direct.converged_count()));
+    EXPECT_EQ(row[3].value, static_cast<double>(direct.runs.size()));
+    EXPECT_EQ(row[4].value, epochs.mean);
+    EXPECT_EQ(row[4].text, util::format_number(epochs.mean, 1));
+    EXPECT_EQ(row[5].value, epochs.stddev);
+    EXPECT_EQ(row[6].value, epochs.min);
+    EXPECT_EQ(row[7].value, epochs.max);
+  }
+}
+
+// E4 parity: the first table row aggregates position collisions, closest
+// approach, and phantom crossings over the same audited campaign the old
+// bench_collisions ran.
+
+TEST(Experiments, CollisionsMatchesDirectCampaignMetrics) {
+  const auto* e = ExperimentRegistry::instance().find("E4");
+  ASSERT_NE(e, nullptr);
+  ScenarioSpec spec = e->defaults;
+  spec.ns = {12};
+  spec.runs = 2;
+  const ExperimentResult result = e->run(spec, nullptr);
+  ASSERT_GE(result.rows.size(), 1u);
+
+  CampaignSpec campaign = spec.campaign(12);
+  campaign.run.adversary = sched::AdversaryKind::kUniform;
+  campaign.audit_collisions = true;
+  const auto direct = run_campaign(campaign);
+  std::size_t collisions = 0, crossings = 0;
+  double min_sep = std::numeric_limits<double>::infinity();
+  for (const auto& m : direct.runs) {
+    collisions += m.position_collisions;
+    crossings += m.path_crossings;
+    min_sep = std::min(min_sep, m.min_observed_separation);
+  }
+
+  const auto& row = result.rows[0];
+  ASSERT_EQ(row.size(), 7u);
+  EXPECT_EQ(row[0].text, "async-log");
+  EXPECT_EQ(row[1].text, "uniform");
+  EXPECT_EQ(row[2].text, "uniform-disk");
+  EXPECT_EQ(row[3].value, static_cast<double>(direct.runs.size()));
+  EXPECT_EQ(row[4].value, static_cast<double>(collisions));
+  EXPECT_EQ(row[5].text, util::format_number(min_sep, 4));
+  EXPECT_EQ(row[6].value, static_cast<double>(crossings));
+}
+
+// ---------------------------------------------------------------------------
+// Reporters.
+
+ExperimentResult sample_result() {
+  ExperimentResult result;
+  result.experiment = "sample";
+  result.title = "Sample experiment";
+  result.columns = {"name", "value"};
+  result.row() = {cell("alpha"), cell(std::size_t{42})};
+  result.row() = {cell("beta"), cell(2.5, 1)};
+  result.notes.push_back("a note");
+  result.checks.push_back({"always true", true});
+  result.checks.push_back({"always false", false});
+  return result;
+}
+
+TEST(Reporter, PassedIsAllOfChecks) {
+  ExperimentResult result = sample_result();
+  EXPECT_FALSE(result.passed());
+  result.checks.pop_back();
+  EXPECT_TRUE(result.passed());
+  result.checks.clear();
+  EXPECT_TRUE(result.passed());  // Vacuously true.
+}
+
+TEST(Reporter, PrettyShowsTableNotesAndVerdicts) {
+  std::ostringstream os;
+  make_reporter("pretty")->report(sample_result(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Sample experiment"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("a note"), std::string::npos);
+  EXPECT_NE(text.find("[PASS] always true"), std::string::npos);
+  EXPECT_NE(text.find("[FAIL] always false"), std::string::npos);
+}
+
+TEST(Reporter, CsvEmitsHeaderAndDataRows) {
+  std::ostringstream os;
+  make_reporter("csv")->report(sample_result(), os);
+  EXPECT_EQ(os.str(), "name,value\nalpha,42\nbeta,2.5\n");
+}
+
+TEST(Reporter, JsonKeepsNumbersAsNumbersAndTextAsStrings) {
+  const util::JsonValue doc = result_to_json(sample_result());
+  ASSERT_TRUE(doc.is_object());
+  const auto* rows = doc.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 2u);
+  EXPECT_TRUE(rows->items()[0].items()[0].is_string());
+  EXPECT_TRUE(rows->items()[0].items()[1].is_number());
+  EXPECT_EQ(rows->items()[0].items()[1].as_double(), 42.0);
+  const auto* passed = doc.find("passed");
+  ASSERT_NE(passed, nullptr);
+  EXPECT_FALSE(passed->as_bool());
+  // The JSON document round-trips through the parser.
+  const auto reparsed = util::json_parse(util::json_write(doc), nullptr);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(util::json_write(*reparsed), util::json_write(doc));
+}
+
+TEST(Reporter, UnknownFormatReturnsNull) {
+  EXPECT_EQ(make_reporter("xml"), nullptr);
+  EXPECT_NE(make_reporter("pretty"), nullptr);
+  EXPECT_NE(make_reporter("csv"), nullptr);
+  EXPECT_NE(make_reporter("json"), nullptr);
+}
+
+}  // namespace
+}  // namespace lumen::analysis

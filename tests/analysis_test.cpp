@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 namespace lumen::analysis {
 namespace {
 
@@ -36,6 +38,23 @@ TEST(Campaign, SeedsAreSequentialFromBase) {
   }
 }
 
+// Exact equality on every field — doubles included, so "identical" means
+// bit-identical, which is what the sharding contract promises.
+void expect_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.distance, b.distance);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.visibility_ok, b.visibility_ok);
+  EXPECT_EQ(a.collision_free, b.collision_free);
+  EXPECT_EQ(a.min_observed_separation, b.min_observed_separation);
+  EXPECT_EQ(a.path_crossings, b.path_crossings);
+  EXPECT_EQ(a.position_collisions, b.position_collisions);
+}
+
 TEST(Campaign, DeterministicAcrossPoolSizes) {
   util::ThreadPool serial{1};
   util::ThreadPool wide{8};
@@ -43,11 +62,42 @@ TEST(Campaign, DeterministicAcrossPoolSizes) {
   const auto b = run_campaign(small_spec(), &wide);
   ASSERT_EQ(a.runs.size(), b.runs.size());
   for (std::size_t i = 0; i < a.runs.size(); ++i) {
-    EXPECT_EQ(a.runs[i].epochs, b.runs[i].epochs) << i;
-    EXPECT_EQ(a.runs[i].cycles, b.runs[i].cycles) << i;
-    EXPECT_EQ(a.runs[i].moves, b.runs[i].moves) << i;
-    EXPECT_EQ(a.runs[i].distance, b.runs[i].distance) << i;
+    SCOPED_TRACE(i);
+    expect_identical(a.runs[i], b.runs[i]);
   }
+}
+
+TEST(Campaign, ShardsReassembleToUnshardedResult) {
+  CampaignSpec spec = small_spec();
+  spec.runs = 7;  // Deliberately not divisible by the shard count.
+  const auto whole = run_campaign(spec);
+
+  std::map<std::uint64_t, RunMetrics> merged;
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    CampaignSpec part = spec;
+    part.shard_index = shard;
+    part.shard_count = 3;
+    const auto result = run_campaign(part);
+    for (const auto& m : result.runs) {
+      const bool inserted = merged.emplace(m.seed, m).second;
+      EXPECT_TRUE(inserted) << "seed " << m.seed << " ran in two shards";
+    }
+  }
+
+  ASSERT_EQ(merged.size(), whole.runs.size());
+  for (const auto& m : whole.runs) {
+    SCOPED_TRACE(m.seed);
+    ASSERT_TRUE(merged.count(m.seed));
+    expect_identical(m, merged.at(m.seed));
+  }
+}
+
+TEST(Campaign, ShardBeyondRunCountIsEmpty) {
+  CampaignSpec spec = small_spec();
+  spec.runs = 2;
+  spec.shard_index = 2;
+  spec.shard_count = 5;
+  EXPECT_TRUE(run_campaign(spec).runs.empty());
 }
 
 TEST(Campaign, CollisionAuditCanBeDisabled) {

@@ -84,16 +84,37 @@ TEST(Cli, IntListParsing) {
   const std::array argv = {"prog", "--list=8,16,32"};
   ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
   const auto xs = cli.get_int_list("list");
-  ASSERT_EQ(xs.size(), 3u);
-  EXPECT_EQ(xs[0], 8);
-  EXPECT_EQ(xs[2], 32);
+  ASSERT_TRUE(xs.has_value());
+  ASSERT_EQ(xs->size(), 3u);
+  EXPECT_EQ((*xs)[0], 8);
+  EXPECT_EQ((*xs)[2], 32);
 }
 
 TEST(Cli, IntListDefault) {
   Cli cli = make_cli();
   const std::array argv = {"prog"};
   ASSERT_TRUE(cli.parse(1, argv.data()));
-  EXPECT_EQ(cli.get_int_list("list").size(), 3u);
+  ASSERT_TRUE(cli.get_int_list("list").has_value());
+  EXPECT_EQ(cli.get_int_list("list")->size(), 3u);
+}
+
+TEST(Cli, IntListRejectsMalformedLists) {
+  // A typoed sweep list must fail loudly, not silently skip/garble entries.
+  for (const char* bad : {"8,,16", "8x", "8,16,", ",8", "", "8;16", "1.5",
+                          "9999999999999999999999"}) {
+    EXPECT_FALSE(parse_int_list(bad).has_value()) << bad;
+  }
+  Cli cli = make_cli();
+  const std::array argv = {"prog", "--list=8,,16"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.get_int_list("list").has_value());
+}
+
+TEST(Cli, IntListAcceptsNegativesAndSpaces) {
+  const auto xs = parse_int_list("-4, 8");
+  ASSERT_TRUE(xs.has_value());
+  EXPECT_EQ((*xs)[0], -4);
+  EXPECT_EQ((*xs)[1], 8);
 }
 
 TEST(Cli, BoolTruthyValues) {
