@@ -1,10 +1,16 @@
 // E7 — substrate microbenchmarks (google-benchmark).
 //
 // Throughput of the kernels everything else is built on: robust orientation
-// predicate (filtered vs forced-exact), convex hull, obstructed-visibility
-// sweep (vs the O(n^3) oracle), smallest enclosing circle, snapshot
-// construction (allocating vs scratch-reusing, with a heap-allocation
-// counter), and one full ASYNC engine run per size.
+// predicate (filtered vs forced-exact), convex hull, the single-observer
+// angular sweep (warmed scratch, allocation-counted), whole-graph
+// obstructed visibility serial vs pooled (vs the O(n^3) oracle), smallest
+// enclosing circle, snapshot construction (allocating vs scratch-reusing,
+// with a heap-allocation counter), one full SSYNC round serial vs pooled,
+// and one full ASYNC engine run per size.
+//
+// bench/baselines/seed_bench_micro.json holds the pre-kernel-rewrite
+// numbers; bench/compare_bench.py gates CI on regressions against the
+// committed baseline.
 //
 // Output: unless --benchmark_out is passed explicitly, results are also
 // written as machine-readable JSON to bench_micro.json (console output
@@ -20,7 +26,9 @@
 #include "model/snapshot.hpp"
 #include "sim/run.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 #include <string>
@@ -29,9 +37,14 @@
 
 // Heap-allocation counter for the zero-allocation claims: every global new
 // in this binary bumps the counter; benchmarks report the per-iteration
-// delta as a counter column (and in the JSON).
+// delta as a counter column (and in the JSON). Atomic because the pooled
+// benchmarks allocate from worker threads (relaxed: only totals matter).
 namespace {
-std::size_t g_alloc_count = 0;
+std::atomic<std::size_t> g_alloc_count{0};
+
+std::size_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
 }  // namespace
 
 // GCC inlines these replacements into google-benchmark's static
@@ -43,13 +56,13 @@ std::size_t g_alloc_count = 0;
 #endif
 
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 
 void* operator new[](std::size_t size) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
@@ -108,7 +121,30 @@ void BM_ConvexHull(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvexHull)->Range(64, 4096)->Complexity(benchmark::oNLogN);
 
-void BM_VisibilityFast(benchmark::State& state) {
+void BM_VisibleFrom(benchmark::State& state) {
+  // Single-observer angular sweep on warmed scratch — the exact kernel one
+  // Look executes. The counter column pins the zero-allocation claim for
+  // the steady-state Look path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 3);
+  lumen::geom::VisibilityScratch scratch;
+  std::vector<std::size_t> out;
+  lumen::geom::visible_from(pts, 0, scratch, out);  // Warm.
+  const std::size_t allocs_before = alloc_count();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    lumen::geom::visible_from(pts, i, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % n;
+  }
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - allocs_before) /
+      static_cast<double>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VisibleFrom)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_ComputeVisibility(benchmark::State& state) {
   const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
   for (auto _ : state) {
     auto g = lumen::geom::compute_visibility(pts);
@@ -116,7 +152,85 @@ void BM_VisibilityFast(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_VisibilityFast)->Range(32, 512)->Complexity();
+BENCHMARK(BM_ComputeVisibility)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputeVisibilityPooled(benchmark::State& state) {
+  // Same sweep with the observer loop fanned over a worker pool (one worker
+  // per hardware thread). On a single-core host this measures the fan-out
+  // overhead, not a speedup; pair with BM_ComputeVisibility to see both.
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
+  lumen::util::ThreadPool pool;
+  for (auto _ : state) {
+    auto g = lumen::geom::compute_visibility(pts, &pool);
+    benchmark::DoNotOptimize(g);
+  }
+  state.counters["pool_workers"] = static_cast<double>(pool.size());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ComputeVisibilityPooled)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+lumen::sim::RunConfig ssync_round_config() {
+  lumen::sim::RunConfig config;
+  config.scheduler = lumen::sim::SchedulerKind::kSsync;
+  config.activation = lumen::sched::ActivationKind::kAll;
+  config.seed = 7;
+  config.max_cycles_per_robot = 1;  // Exactly one round per run.
+  config.record_moves = false;
+  return config;
+}
+
+void BM_SsyncRoundStep(benchmark::State& state) {
+  // One full SSYNC round with every robot active: N Looks against the same
+  // configuration (N angular sorts), N Computes, N commits, N move sweeps.
+  // The engine setup cost is O(N) and amortizes into noise at these sizes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto algo = lumen::core::make_algorithm("ssync-parallel");
+  const auto initial =
+      lumen::gen::generate(lumen::gen::ConfigFamily::kUniformDisk, n, 7);
+  const auto config = ssync_round_config();
+  for (auto _ : state) {
+    auto run = lumen::sim::run_simulation(*algo, initial, config);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SsyncRoundStep)
+    ->RangeMultiplier(2)
+    ->Range(256, 1024)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SsyncRoundStepPooled(benchmark::State& state) {
+  // The same round with Look+Compute fanned over RunConfig::pool —
+  // bit-identical output (tests/sim_pool_invariance_test.cpp), so this pair
+  // of benchmarks isolates what in-run parallelism buys on this host.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto algo = lumen::core::make_algorithm("ssync-parallel");
+  const auto initial =
+      lumen::gen::generate(lumen::gen::ConfigFamily::kUniformDisk, n, 7);
+  lumen::util::ThreadPool pool;
+  auto config = ssync_round_config();
+  config.pool = &pool;
+  for (auto _ : state) {
+    auto run = lumen::sim::run_simulation(*algo, initial, config);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["pool_workers"] = static_cast<double>(pool.size());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SsyncRoundStepPooled)
+    ->RangeMultiplier(2)
+    ->Range(256, 1024)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_VisibilityNaiveOracle(benchmark::State& state) {
   const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
@@ -143,13 +257,13 @@ void BM_BuildSnapshot(benchmark::State& state) {
                                                 lumen::model::Light::kOff);
   lumen::util::Prng rng{6};
   const auto frame = lumen::model::LocalFrame::random(pts[0], rng);
-  const std::size_t allocs_before = g_alloc_count;
+  const std::size_t allocs_before = alloc_count();
   for (auto _ : state) {
     auto snap = lumen::model::build_snapshot(pts, lights, 0, frame);
     benchmark::DoNotOptimize(snap);
   }
   state.counters["heap_allocs_per_iter"] = benchmark::Counter(
-      static_cast<double>(g_alloc_count - allocs_before) /
+      static_cast<double>(alloc_count() - allocs_before) /
       static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_BuildSnapshot)->Range(32, 1024);
@@ -165,13 +279,13 @@ void BM_BuildSnapshotScratch(benchmark::State& state) {
   lumen::model::SnapshotScratch scratch;
   lumen::model::Snapshot snap;
   lumen::model::build_snapshot(pts, lights, 0, frame, scratch, snap);  // Warm.
-  const std::size_t allocs_before = g_alloc_count;
+  const std::size_t allocs_before = alloc_count();
   for (auto _ : state) {
     lumen::model::build_snapshot(pts, lights, 0, frame, scratch, snap);
     benchmark::DoNotOptimize(snap);
   }
   state.counters["heap_allocs_per_iter"] = benchmark::Counter(
-      static_cast<double>(g_alloc_count - allocs_before) /
+      static_cast<double>(alloc_count() - allocs_before) /
       static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_BuildSnapshotScratch)->Range(32, 1024);

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two bench_micro JSON files and fail on kernel regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
+                     [--calibrate BM_Orient2dFiltered] [--all]
+
+Compares real_time of every benchmark present in BOTH files and exits
+non-zero if any gated kernel regressed by more than --threshold (fractional;
+0.20 = 20%). By default only the visibility and round-step kernels are
+gated -- the ones the in-run parallelism work optimizes and CI protects:
+
+    BM_VisibleFrom/*  BM_ComputeVisibility/*  BM_SsyncRoundStep/*
+
+Pass --all to gate every shared benchmark instead.
+
+--calibrate NAME divides every time by the named benchmark's time in its own
+file before comparing, turning absolute times into multiples of a tiny
+fixed-work probe (the filtered orient2d predicate by default lives in both
+files). That cancels first-order host-speed differences, which is what makes
+a committed baseline meaningful on heterogeneous CI runners. Calibration is
+skipped (with a warning) if the probe is missing from either file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+GATED_PREFIXES = ("BM_VisibleFrom", "BM_ComputeVisibility/",
+                  "BM_ComputeVisibility_", "BM_SsyncRoundStep/")
+
+
+def load_times(path):
+    """name -> real_time (ns), aggregate-free plain runs only."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue  # Skip mean/median/stddev aggregates and complexity fits.
+        name = entry["name"]
+        if "/repeats:" in name:
+            continue
+        # Normalize to nanoseconds regardless of the per-benchmark unit.
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        times[name] = float(entry["real_time"]) * scale
+    return times
+
+
+def is_gated(name, gate_all):
+    if gate_all:
+        return True
+    return any(name.startswith(p) for p in GATED_PREFIXES)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max allowed fractional regression on gated "
+                         "kernels (default 0.20)")
+    ap.add_argument("--calibrate", metavar="NAME", default=None,
+                    help="normalize both files by this benchmark's time "
+                         "(e.g. BM_Orient2dFiltered) before comparing")
+    ap.add_argument("--all", action="store_true",
+                    help="gate every shared benchmark, not just the "
+                         "visibility/round-step kernels")
+    args = ap.parse_args(argv)
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    base_scale = cur_scale = 1.0
+    if args.calibrate:
+        if args.calibrate in base and args.calibrate in cur:
+            base_scale = base[args.calibrate]
+            cur_scale = cur[args.calibrate]
+            print(f"calibrating by {args.calibrate}: baseline "
+                  f"{base_scale:.3g} ns, current {cur_scale:.3g} ns")
+        else:
+            print(f"warning: --calibrate {args.calibrate} missing from one "
+                  f"side; comparing raw times", file=sys.stderr)
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: no shared benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name in shared:
+        b = base[name] / base_scale
+        c = cur[name] / cur_scale
+        ratio = c / b if b > 0 else float("inf")
+        gated = is_gated(name, args.all)
+        flag = ""
+        if gated and ratio > 1.0 + args.threshold:
+            failures.append((name, ratio))
+            flag = "  << REGRESSION"
+        elif gated:
+            flag = "  (gated)"
+        print(f"{name:<44} {b:>12.4g} {c:>12.4g} {ratio:>8.3f}{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated kernel(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nOK: no gated kernel regressed more than {args.threshold:.0%} "
+          f"({len(shared)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -64,7 +64,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
   const auto algorithm = core::make_algorithm(spec.algorithm);
   util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
 
-  workers.parallel_for(indices.size(), [&](std::size_t slot) {
+  const auto run_one = [&](std::size_t slot) {
     const std::uint64_t seed = spec.seed_base + indices[slot];
     const auto initial =
         gen::generate(spec.family, spec.n, seed, spec.min_separation);
@@ -74,6 +74,12 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
     // collision audit streams over the run instead of replaying a retained
     // log, and per-run memory stays independent of run length.
     config.record_moves = false;
+    // In-run parallelism rides the same pool. Nested from a campaign worker
+    // the inner fan-out degrades to inline-serial (the workers are already
+    // busy with whole runs); from the caller thread — the single-run path
+    // below — a large-N run's rounds genuinely parallelize. Either way the
+    // results are bit-identical (pool-size invariance, see run.hpp).
+    config.pool = &workers;
     sim::StreamingCollisionMonitor monitor(spec.collision_tolerance);
     sim::RunObserver* observers[] = {&monitor};
     const auto run =
@@ -90,7 +96,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
     m.distance = run.total_distance;
     m.colors = run.distinct_lights_used();
     m.visibility_ok =
-        sim::verify_complete_visibility(run.final_positions).complete();
+        sim::verify_complete_visibility(run.final_positions, &workers).complete();
     if (spec.audit_collisions) {
       const sim::CollisionReport& report = monitor.report();
       m.collision_free = report.hazard_free(1e-9);
@@ -99,7 +105,13 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
       m.position_collisions = report.position_collisions;
     }
     result.runs[slot] = m;
-  });
+  };
+  if (indices.size() == 1) {
+    // Keep the lone run on the caller so its in-run fan-out owns the pool.
+    run_one(0);
+  } else {
+    workers.parallel_for(indices.size(), run_one);
+  }
   return result;
 }
 

@@ -24,9 +24,7 @@ std::ostream& operator<<(std::ostream& os, Vec2 v) {
 
 namespace {
 
-// Machine half-ulp (2^-53) and Shewchuk's stage-A error coefficient.
-constexpr double kEpsilon = 0x1.0p-53;
-constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEpsilon) * kEpsilon;
+using detail::kCcwErrBoundA;
 
 /// Knuth two-sum: x + y == a + b exactly, x = fl(a+b), y is the roundoff.
 inline void two_sum(double a, double b, double& x, double& y) noexcept {

@@ -34,7 +34,7 @@ namespace lumen::geom {
 /// bounding box). Exact.
 [[nodiscard]] bool on_segment_closed(Vec2 a, Vec2 b, Vec2 p) noexcept;
 
-/// True iff p lies strictly between a and b on the OPEN segment (a, b):
+///// True iff p lies strictly between a and b on the OPEN segment (a, b):
 /// collinear, inside the box, and distinct from both endpoints. Exact.
 /// This is precisely the "blocking" relation of obstructed visibility.
 [[nodiscard]] bool on_segment_open(Vec2 a, Vec2 b, Vec2 p) noexcept;
@@ -42,6 +42,40 @@ namespace lumen::geom {
 namespace detail {
 /// Exact sign of (b-a) x (c-a) via expansion arithmetic. Exposed for tests.
 [[nodiscard]] int orient2d_exact_sign(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+/// Machine half-ulp (2^-53) and Shewchuk's stage-A error coefficient —
+/// shared by the out-of-line filter and the keyed inline one below.
+inline constexpr double kEpsilon = 0x1.0p-53;
+inline constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEpsilon) * kEpsilon;
 }  // namespace detail
+
+/// Orientation sign of the triple (o, a, b) — identical in every case to
+/// orient2d(o, a, b) — given the PRECOMPUTED rounded differences
+/// da = a - o and db = b - o (the very values orient2d(a, b, o) forms
+/// internally; the triple is a cyclic permutation, so the sign is shared).
+/// Callers that compare many points around one origin hoist the
+/// subtractions out of the comparator: the stage-A filter then needs only
+/// two multiplications per call, and the exact expansion fallback on the
+/// ORIGINAL coordinates keeps the result exact.
+[[nodiscard]] inline int orient2d_around(Vec2 da, Vec2 db, Vec2 a, Vec2 b,
+                                         Vec2 o) noexcept {
+  const double detleft = da.x * db.y;
+  const double detright = da.y * db.x;
+  const double det = detleft - detright;
+  double detsum = 0.0;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = -detleft - detright;
+  } else {
+    // detleft rounded to zero: defer to the exact stage (mirrors orient2d).
+    return detail::orient2d_exact_sign(a, b, o);
+  }
+  const double errbound = detail::kCcwErrBoundA * detsum;
+  if (det >= errbound || -det >= errbound) return det > 0.0 ? 1 : -1;
+  return detail::orient2d_exact_sign(a, b, o);
+}
 
 }  // namespace lumen::geom

@@ -1,17 +1,27 @@
 #include "geom/visibility.hpp"
 
 #include "geom/predicates.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <bit>
 
 namespace lumen::geom {
 
 std::size_t VisibilityGraph::edge_count() const noexcept {
+  // Upper-triangle popcount: row i contributes its bits j > i, so the count
+  // is exact whether or not the lower triangle has been mirrored yet.
   std::size_t c = 0;
   for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      if (sees(i, j)) ++c;
+    const std::uint64_t* row = bits_.data() + i * words_;
+    const std::size_t first = (i + 1) >> 6;
+    const std::size_t shift = (i + 1) & 63;
+    for (std::size_t w = first; w < words_; ++w) {
+      std::uint64_t word = row[w];
+      if (w == first && shift != 0) {
+        word &= ~((std::uint64_t{1} << shift) - 1);
+      }
+      c += static_cast<std::size_t>(std::popcount(word));
     }
   }
   return c;
@@ -19,14 +29,29 @@ std::size_t VisibilityGraph::edge_count() const noexcept {
 
 std::size_t VisibilityGraph::degree(std::size_t i) const noexcept {
   std::size_t c = 0;
-  for (std::size_t j = 0; j < n_; ++j) {
-    if (j != i && sees(i, j)) ++c;
+  const std::uint64_t* row = bits_.data() + i * words_;
+  for (std::size_t w = 0; w < words_; ++w) {
+    c += static_cast<std::size_t>(std::popcount(row[w]));
   }
   return c;
 }
 
 bool VisibilityGraph::complete() const noexcept {
-  return edge_count() == n_ * (n_ - 1) / 2;
+  if (n_ <= 1) return true;
+  // Row i must be all-ones over the first n_ bits except bit i itself;
+  // bail out on the first block that misses a pair.
+  const std::uint64_t last_mask = ((n_ & 63) == 0)
+                                      ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << (n_ & 63)) - 1;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t* row = bits_.data() + i * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t expected = (w + 1 == words_) ? last_mask : ~std::uint64_t{0};
+      if (w == (i >> 6)) expected &= ~(std::uint64_t{1} << (i & 63));
+      if (row[w] != expected) return false;
+    }
+  }
+  return true;
 }
 
 namespace {
@@ -34,11 +59,15 @@ namespace {
 /// Half-plane index for the exact angular order around an origin:
 /// 0 for directions with angle in [0, pi) — dy > 0, or dy == 0 && dx > 0 —
 /// 1 otherwise. Opposite directions always land in different halves.
-inline int half_of(Vec2 d) noexcept {
+inline std::uint8_t half_of(Vec2 d) noexcept {
   if (d.y > 0.0) return 0;
   if (d.y < 0.0) return 1;
   return d.x > 0.0 ? 0 : 1;
 }
+
+/// Minimum observer count before compute_visibility fans out: below this
+/// the pool's task handshake costs more than the sweep itself.
+constexpr std::size_t kMinParallelObservers = 32;
 
 }  // namespace
 
@@ -49,44 +78,125 @@ std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) 
   return visible;
 }
 
-void visible_from(std::span<const Vec2> pts, std::size_t i,
-                  VisibilityScratch& scratch, std::vector<std::size_t>& out) {
-  const Vec2 o = pts[i];
-  std::vector<std::size_t>& others = scratch.order;
-  others.clear();
-  others.reserve(pts.size());
-  for (std::size_t j = 0; j < pts.size(); ++j) {
-    if (j != i && pts[j] != o) others.push_back(j);
+namespace {
+
+/// Emits the visible members of one equal-direction run [b, e): the exact
+/// nearest point plus everything coincident with it. A point strictly
+/// inside the open segment (o, target) lies on the same ray from o, so it
+/// belongs to the same run — which makes this emission exactly the naive
+/// blocking relation, and therefore symmetric (set_half relies on that).
+/// The rounded dist2 sort key only pre-orders the run; the nearest is
+/// re-derived with the exact on_segment_open predicate, so even adversarial
+/// dist2 rounding ties cannot pick the wrong survivor.
+void emit_run(std::span<const Vec2> pts, Vec2 o,
+              std::span<const AngularKey> keys, std::size_t b, std::size_t e,
+              std::vector<std::size_t>& out) {
+  if (e - b == 1) {
+    out.push_back(keys[b].index);
+    return;
   }
-  // Exact CCW angular sort around o; ties (same ray) by distance.
-  std::sort(others.begin(), others.end(), [&](std::size_t a, std::size_t b) {
-    const Vec2 da = pts[a] - o;
-    const Vec2 db = pts[b] - o;
-    const int ha = half_of(da), hb = half_of(db);
-    if (ha != hb) return ha < hb;
-    const int orientation = orient2d(o, pts[a], pts[b]);
-    if (orientation != 0) return orientation > 0;
-    return norm_sq(da) < norm_sq(db);
-  });
-  // Keep only the first (nearest) of each equal-direction run.
-  out.clear();
-  out.reserve(others.size());
-  for (std::size_t k = 0; k < others.size(); ++k) {
-    if (k > 0) {
-      const std::size_t prev = others[k - 1];
-      const std::size_t cur = others[k];
-      const bool same_ray = half_of(pts[prev] - o) == half_of(pts[cur] - o) &&
-                            orient2d(o, pts[prev], pts[cur]) == 0;
-      if (same_ray) continue;
+  std::size_t lead = b;
+  for (std::size_t m = b + 1; m < e; ++m) {
+    if (on_segment_open(o, pts[keys[lead].index], pts[keys[m].index])) {
+      lead = m;
     }
-    out.push_back(others[k]);
+  }
+  const Vec2 nearest = pts[keys[lead].index];
+  for (std::size_t m = b; m < e; ++m) {
+    if (pts[keys[m].index] == nearest) out.push_back(keys[m].index);
   }
 }
 
-VisibilityGraph compute_visibility(std::span<const Vec2> pts) {
-  VisibilityGraph g(pts.size());
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    for (const std::size_t j : visible_from(pts, i)) g.set(i, j);
+/// Exact CCW sort of one half-plane's keys, then append each
+/// equal-direction run's visible members to `out`. Within one half no two
+/// directions are opposite, so orient2d alone orders them; the keyed
+/// predicate returns exactly orient2d(o, pts[a], pts[b]) (see
+/// orient2d_around), making the order bit-identical to the direct
+/// formulation. Runs never span the half-plane boundary (the halves hold
+/// no opposite or equal directions across each other), so per-half runs
+/// are complete.
+void sort_and_dedup_half(std::span<const Vec2> pts, Vec2 o,
+                         std::vector<AngularKey>& keys,
+                         std::vector<std::size_t>& out) {
+  std::sort(keys.begin(), keys.end(),
+            [&](const AngularKey& a, const AngularKey& b) {
+              const int orientation = orient2d_around(
+                  a.diff, b.diff, pts[a.index], pts[b.index], o);
+              if (orientation != 0) return orientation > 0;
+              if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+              return a.index < b.index;  // Full ties: deterministic order.
+            });
+  std::size_t run_begin = 0;
+  for (std::size_t k = 1; k < keys.size(); ++k) {
+    if (orient2d_around(keys[k - 1].diff, keys[k].diff,
+                        pts[keys[k - 1].index], pts[keys[k].index], o) != 0) {
+      emit_run(pts, o, keys, run_begin, k, out);
+      run_begin = k;
+    }
+  }
+  if (!keys.empty()) emit_run(pts, o, keys, run_begin, keys.size(), out);
+}
+
+}  // namespace
+
+void visible_from(std::span<const Vec2> pts, std::size_t i,
+                  VisibilityScratch& scratch, std::vector<std::size_t>& out) {
+  const Vec2 o = pts[i];
+  const std::size_t n = pts.size();
+  // Build the sort keys in one pass: every subtraction, half-plane
+  // classification and squared norm the comparator and dedup pass will
+  // need, computed exactly once per point and partitioned by half-plane.
+  std::vector<AngularKey>& upper = scratch.upper;
+  std::vector<AngularKey>& lower = scratch.lower;
+  upper.clear();
+  lower.clear();
+  upper.reserve(n);
+  lower.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i || pts[j] == o) continue;
+    const Vec2 d = pts[j] - o;
+    const AngularKey key{d, norm_sq(d), static_cast<std::uint32_t>(j)};
+    if (half_of(d) == 0) {
+      upper.push_back(key);
+    } else {
+      lower.push_back(key);
+    }
+  }
+  out.clear();
+  out.reserve(upper.size() + lower.size());
+  sort_and_dedup_half(pts, o, upper, out);
+  sort_and_dedup_half(pts, o, lower, out);
+}
+
+VisibilityGraph compute_visibility(std::span<const Vec2> pts,
+                                   util::ThreadPool* pool) {
+  const std::size_t n = pts.size();
+  VisibilityGraph g(n);
+  if (pool != nullptr && n >= kMinParallelObservers) {
+    // Every observer writes only its own row; the per-observer relation is
+    // exactly the (symmetric) naive blocking relation — see emit_run — so
+    // the mirrored bits arrive from the mirrored sweeps and the result is
+    // bit-identical to the serial fill for any pool size.
+    struct ObserverScratch {
+      VisibilityScratch scratch;
+      std::vector<std::size_t> out;
+    };
+    std::vector<ObserverScratch> slots(pool->slot_count());
+    pool->parallel_for_slots(
+        n,
+        [&](std::size_t slot, std::size_t i) {
+          ObserverScratch& s = slots[slot];
+          visible_from(pts, i, s.scratch, s.out);
+          for (const std::size_t j : s.out) g.set_half(i, j);
+        },
+        /*grain=*/4);
+    return g;
+  }
+  VisibilityScratch scratch;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    visible_from(pts, i, scratch, out);
+    for (const std::size_t j : out) g.set_half(i, j);
   }
   return g;
 }
@@ -110,14 +220,14 @@ VisibilityGraph compute_visibility_naive(std::span<const Vec2> pts) {
   return g;
 }
 
-bool complete_visibility(std::span<const Vec2> pts) {
+bool complete_visibility(std::span<const Vec2> pts, util::ThreadPool* pool) {
   const std::size_t n = pts.size();
   if (n <= 1) return true;
   // Distinctness first: coincident robots are collisions, never "visible".
   std::vector<Vec2> sorted(pts.begin(), pts.end());
   std::sort(sorted.begin(), sorted.end());
   if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) return false;
-  return compute_visibility(pts).complete();
+  return compute_visibility(pts, pool).complete();
 }
 
 }  // namespace lumen::geom

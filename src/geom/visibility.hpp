@@ -5,51 +5,84 @@
 // collinear — so from any observer, among all robots lying on one ray only
 // the nearest is visible. That observation gives the fast kernel: sort the
 // other robots around the observer with an exact angular comparator
-// (O(n log n) per observer, O(n^2 log n) for the full graph) and keep the
-// nearest robot of every equal-direction run. A brute-force O(n^3) checker
-// is kept as the test oracle.
+// (O(n log n) per observer, O(n^2 log n) for the full graph) and keep, per
+// equal-direction run, the exact nearest robot plus anything coincident
+// with it. The sort runs over packed PRECOMPUTED key records (rounded
+// difference, squared norm, index) built once per observer and partitioned
+// by half-plane, so each comparison loads two contiguous records and runs
+// the two-multiplication stage-A filter of orient2d_around — exactness and
+// output are bit-identical to the direct orient2d formulation. A
+// brute-force O(n^3) checker is kept as the test oracle.
 #pragma once
 
 #include "geom/vec2.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+namespace lumen::util {
+class ThreadPool;
+}
+
 namespace lumen::geom {
 
-/// Symmetric visibility relation over a fixed point set.
+/// Symmetric visibility relation over a fixed point set. Rows are stored as
+/// 64-bit blocks so edge_count/degree/complete popcount whole words instead
+/// of scanning bits one at a time.
 class VisibilityGraph {
  public:
   VisibilityGraph() = default;
-  explicit VisibilityGraph(std::size_t n) : n_(n), bits_(n * n, 0) {}
+  explicit VisibilityGraph(std::size_t n)
+      : n_(n), words_(n == 0 ? 0 : (n + 63) / 64), bits_(n * words_, 0) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] bool sees(std::size_t i, std::size_t j) const noexcept {
-    return bits_[i * n_ + j] != 0;
+    return ((bits_[i * words_ + (j >> 6)] >> (j & 63)) & 1u) != 0;
   }
   void set(std::size_t i, std::size_t j) noexcept {
-    bits_[i * n_ + j] = 1;
-    bits_[j * n_ + i] = 1;
+    set_half(i, j);
+    set_half(j, i);
+  }
+  /// One direction only — the parallel observer sweep: each task owns row i
+  /// outright (no two tasks touch the same word), and the mirrored sweep
+  /// from j supplies the symmetric bit. Use set() everywhere else.
+  void set_half(std::size_t i, std::size_t j) noexcept {
+    bits_[i * words_ + (j >> 6)] |= std::uint64_t{1} << (j & 63);
   }
 
-  /// Number of (unordered) visible pairs.
+  /// Number of (unordered) visible pairs. O(n^2 / 64).
   [[nodiscard]] std::size_t edge_count() const noexcept;
-  /// Degree of vertex i.
+  /// Degree of vertex i. O(n / 64).
   [[nodiscard]] std::size_t degree(std::size_t i) const noexcept;
   /// True iff every pair of distinct robots is mutually visible.
+  /// Early-exits on the first block with a missing pair.
   [[nodiscard]] bool complete() const noexcept;
 
  private:
   std::size_t n_ = 0;
-  std::vector<unsigned char> bits_;
+  std::size_t words_ = 0;  ///< 64-bit blocks per row.
+  std::vector<std::uint64_t> bits_;
 };
 
-/// Reusable workspace for visible_from. Holding one per caller makes the
-/// steady-state visibility sweep allocation-free: the angular-sort buffer
-/// keeps its capacity across calls.
+/// One precomputed angular-sort key: everything the comparator and the
+/// dedup pass need, packed so each comparison touches two contiguous
+/// records instead of re-deriving subtractions and half-plane indices.
+struct AngularKey {
+  Vec2 diff;            ///< pts[index] - observer, rounded once.
+  double dist2;         ///< |diff|^2 for the same-ray tie-break.
+  std::uint32_t index;  ///< Original point id.
+};
+
+/// Reusable workspace for visible_from: the per-observer sort keys, built
+/// in one pass and partitioned by half-plane (angle in [0, pi) vs [pi,
+/// 2pi)) so the sort comparator never tests the half again. Holding one
+/// per caller (or per pool worker) makes the steady-state visibility sweep
+/// allocation-free: both buffers keep their capacity across calls.
 struct VisibilityScratch {
-  std::vector<std::size_t> order;  ///< Angular-sort workspace.
+  std::vector<AngularKey> upper;  ///< Keys with direction angle in [0, pi).
+  std::vector<AngularKey> lower;  ///< Keys with direction angle in [pi, 2pi).
 };
 
 /// Indices of the robots visible from observer `i` (excluding i itself).
@@ -59,14 +92,19 @@ struct VisibilityScratch {
                                                     std::size_t i);
 
 /// Buffer-reusing overload: fills `out` with the visible indices using
-/// `scratch` for the sort workspace. Performs no heap allocation once both
-/// buffers have warmed to the point count. Produces exactly the same index
-/// sequence as the allocating overload (which delegates to this one).
+/// `scratch` for the sort keys and workspace. Performs no heap allocation
+/// once both buffers have warmed to the point count. Produces exactly the
+/// same index sequence as the allocating overload (which delegates to this
+/// one).
 void visible_from(std::span<const Vec2> pts, std::size_t i,
                   VisibilityScratch& scratch, std::vector<std::size_t>& out);
 
-/// Full visibility graph, O(n^2 log n).
-[[nodiscard]] VisibilityGraph compute_visibility(std::span<const Vec2> pts);
+/// Full visibility graph, O(n^2 log n). With a pool, observers fan out
+/// across the workers (each task fills only its own rows, so the result is
+/// bit-identical to the serial sweep for any pool size); nullptr runs
+/// serially on the caller.
+[[nodiscard]] VisibilityGraph compute_visibility(std::span<const Vec2> pts,
+                                                 util::ThreadPool* pool = nullptr);
 
 /// Brute-force oracle: is j visible from i? O(n) per query.
 [[nodiscard]] bool visible_naive(std::span<const Vec2> pts, std::size_t i,
@@ -76,7 +114,8 @@ void visible_from(std::span<const Vec2> pts, std::size_t i,
 [[nodiscard]] VisibilityGraph compute_visibility_naive(std::span<const Vec2> pts);
 
 /// True iff the configuration solves Complete Visibility: all points
-/// distinct and every pair mutually visible.
-[[nodiscard]] bool complete_visibility(std::span<const Vec2> pts);
+/// distinct and every pair mutually visible. Pool as in compute_visibility.
+[[nodiscard]] bool complete_visibility(std::span<const Vec2> pts,
+                                       util::ThreadPool* pool = nullptr);
 
 }  // namespace lumen::geom

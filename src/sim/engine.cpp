@@ -16,6 +16,13 @@
 // scheduling shape. Observers delivered per the contract in observer.hpp;
 // the SYNC driver delivers all of a round's commits before any of its move
 // completions, mirroring their simultaneity.
+//
+// In-run parallelism: the SYNC drivers fan each round's Look+Compute over
+// RunConfig::pool via ExecutionCore::look_batch (bit-identical for any pool
+// size — see DESIGN.md §10). The ASYNC driver stays serial by construction:
+// its event loop processes one robot phase at a time and every event both
+// reads and advances the shared world clock, so there is no simultaneous
+// batch to distribute.
 #include "sim/run.hpp"
 
 #include "sim/execution_core.hpp"
@@ -212,11 +219,12 @@ class SyncDriver {
       const double t0 = static_cast<double>(round);
       const double t1 = t0 + 1.0;
       const auto active = policy_->activate(n, round, activation_rng_);
-      // All activated robots Look at the same pre-round configuration.
-      for (const std::size_t r : active) {
-        core_.begin_cycle(r, t0);
-        core_.look(r, t0);
-      }
+      // All activated robots Look at the same pre-round configuration, so
+      // the round's Look+Compute fan-out runs on config.pool when present
+      // (bit-identical to the serial loop; commit order below is what the
+      // downstream bits depend on and it never changes).
+      for (const std::size_t r : active) core_.begin_cycle(r, t0);
+      core_.look_batch(active, t0);
       // Simultaneous application: all commits land before any position
       // write, so same-round movers see each other's pre-round positions.
       started.assign(active.size(), 0);

@@ -1,5 +1,7 @@
 #include "sim/execution_core.hpp"
 
+#include "util/thread_pool.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -59,6 +61,21 @@ void ExecutionCore::begin_cycle(std::size_t robot, double time) {
   in_wait_[robot] = 1;
 }
 
+void ExecutionCore::compute_pending(std::size_t robot,
+                                    const model::LocalFrame& frame,
+                                    model::SnapshotScratch& scratch,
+                                    model::Snapshot& snap) {
+  model::build_snapshot(world_scratch_, lights_, robot, frame, scratch, snap);
+  // Compute is deterministic on the snapshot, so evaluating it now and
+  // committing later is equivalent to evaluating at commit time.
+  const model::Action action = algo_.compute(snap);
+  pending_[robot] = model::Action{frame.to_world(action.target), action.light};
+  // Encode "stay" in world terms: a stay action keeps the world position.
+  if (!action.moves()) pending_[robot].target = world_scratch_[robot];
+  pending_null_[robot] =
+      (!action.moves() && action.light == lights_[robot]) ? 1 : 0;
+}
+
 void ExecutionCore::look(std::size_t robot, double time) {
   in_wait_[robot] = 0;
   look_time_[robot] = time;
@@ -66,18 +83,45 @@ void ExecutionCore::look(std::size_t robot, double time) {
   for (std::size_t j = 0; j < n_; ++j) {
     world_scratch_[j] = position_at(j, time);
   }
-  model::LocalFrame frame = make_frame(robot, world_scratch_[robot]);
-  model::build_snapshot(world_scratch_, lights_, robot, frame, snapshot_scratch_,
-                        snapshot_);
-  // Compute is deterministic on the snapshot, so evaluating it now and
-  // committing later is equivalent to evaluating at commit time.
-  const model::Action action = algo_.compute(snapshot_);
-  pending_[robot] = model::Action{frame.to_world(action.target), action.light};
-  // Encode "stay" in world terms: a stay action keeps the world position.
-  if (!action.moves()) pending_[robot].target = world_scratch_[robot];
-  pending_null_[robot] =
-      (!action.moves() && action.light == lights_[robot]) ? 1 : 0;
+  const model::LocalFrame frame = make_frame(robot, world_scratch_[robot]);
+  compute_pending(robot, frame, snapshot_scratch_, snapshot_);
   for (RunObserver* o : observers_) o->on_look(robot, time, world(time));
+}
+
+void ExecutionCore::look_batch(std::span<const std::size_t> robots, double time) {
+  util::ThreadPool* pool = config_.pool;
+  if (pool == nullptr || robots.size() < 2) {
+    for (const std::size_t r : robots) look(r, time);
+    return;
+  }
+  // Serial prologue in `robots` order: the same state writes and frame-rng
+  // draws, in the same order, as the serial loop above — the one world fill
+  // suffices because nobody is mid-move between SYNC rounds, so every
+  // serial look() would fill an identical buffer.
+  for (std::size_t j = 0; j < n_; ++j) {
+    world_scratch_[j] = position_at(j, time);
+  }
+  frame_batch_.clear();
+  frame_batch_.reserve(robots.size());
+  for (const std::size_t r : robots) {
+    in_wait_[r] = 0;
+    look_time_[r] = time;
+    frame_batch_.push_back(make_frame(r, world_scratch_[r]));
+  }
+  // Parallel Look + Compute: per-slot scratch, per-robot pending slots.
+  // Thread interleaving cannot affect the result — Compute is pure and
+  // every write lands in the robot's own slot.
+  look_slots_.resize(pool->slot_count());
+  pool->parallel_for_slots(robots.size(), [&](std::size_t slot, std::size_t k) {
+    LookSlot& ls = look_slots_[slot];
+    compute_pending(robots[k], frame_batch_[k], ls.scratch, ls.snapshot);
+  });
+  // Observers fire serially afterwards, in `robots` order: nothing a Look
+  // mutates is visible through WorldView, so the delivered stream is
+  // byte-identical to the serial loop's.
+  for (const std::size_t r : robots) {
+    for (RunObserver* o : observers_) o->on_look(r, time, world(time));
+  }
 }
 
 geom::Vec2 ExecutionCore::apply_motion_adversary(geom::Vec2 from, geom::Vec2 to,

@@ -67,6 +67,16 @@ class ExecutionCore {
   /// visibility scratch and the Snapshot are all reused across Looks.
   void look(std::size_t robot, double time);
 
+  /// Batched Look + Compute for a SYNC round: every robot in `robots`
+  /// snapshots the SAME instant (nobody is mid-move between rounds) and
+  /// Compute is pure, so the per-robot work fans out over config.pool with
+  /// per-slot scratch while staying bit-identical to serial look() calls in
+  /// `robots` order — frame draws happen serially in that order first, the
+  /// pending action lands in the robot's own pre-indexed slot, and
+  /// observers fire serially afterwards (their WorldView is untouched by
+  /// Look). Falls back to the serial loop without a pool.
+  void look_batch(std::span<const std::size_t> robots, double time);
+
   /// ASYNC commit at `now`: applies the pending light, runs the non-rigid
   /// motion adversary (drawing from `motion_rng`), and either starts a move
   /// of `move_duration` (returns true; the driver schedules its completion)
@@ -118,6 +128,13 @@ class ExecutionCore {
 
   [[nodiscard]] model::LocalFrame make_frame(std::size_t robot, geom::Vec2 origin);
 
+  /// The pure per-robot slice of a Look: snapshot world_scratch_ through
+  /// `frame`, run Compute, park the world-frame action in robot's pending
+  /// slot. Reads only shared immutable state + the given scratch, so
+  /// look_batch may run it concurrently for distinct robots.
+  void compute_pending(std::size_t robot, const model::LocalFrame& frame,
+                       model::SnapshotScratch& scratch, model::Snapshot& snap);
+
   void notify_commit(const CommitEvent& event, double time);
 
   const model::Algorithm& algo_;
@@ -157,6 +174,16 @@ class ExecutionCore {
   std::vector<geom::Vec2> world_scratch_;
   model::SnapshotScratch snapshot_scratch_;
   model::Snapshot snapshot_;
+
+  // look_batch scratch: one snapshot workspace per pool slot (tasks with
+  // the same slot never run concurrently) plus the round's pre-drawn
+  // frames, aligned with the `robots` argument.
+  struct LookSlot {
+    model::SnapshotScratch scratch;
+    model::Snapshot snapshot;
+  };
+  std::vector<LookSlot> look_slots_;
+  std::vector<model::LocalFrame> frame_batch_;
 };
 
 }  // namespace lumen::sim

@@ -131,14 +131,15 @@ CollisionReport check_collisions(std::span<const geom::Vec2> initial_positions,
   return report;
 }
 
-VisibilityVerdict verify_complete_visibility(std::span<const geom::Vec2> positions) {
+VisibilityVerdict verify_complete_visibility(std::span<const geom::Vec2> positions,
+                                             util::ThreadPool* pool) {
   VisibilityVerdict verdict;
   std::vector<geom::Vec2> sorted(positions.begin(), positions.end());
   std::sort(sorted.begin(), sorted.end());
   verdict.distinct =
       std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
   verdict.strictly_convex = geom::points_in_strictly_convex_position(positions);
-  verdict.mutually_visible = geom::compute_visibility(positions).complete();
+  verdict.mutually_visible = geom::compute_visibility(positions, pool).complete();
   return verdict;
 }
 

@@ -19,6 +19,10 @@
 #include <string>
 #include <vector>
 
+namespace lumen::util {
+class ThreadPool;
+}
+
 namespace lumen::sim {
 
 namespace detail {
@@ -100,7 +104,10 @@ struct VisibilityVerdict {
   }
 };
 
+/// With a pool, the underlying visibility sweep fans observers out over
+/// the workers (bit-identical verdict for any pool size; see
+/// geom::compute_visibility).
 [[nodiscard]] VisibilityVerdict verify_complete_visibility(
-    std::span<const geom::Vec2> positions);
+    std::span<const geom::Vec2> positions, util::ThreadPool* pool = nullptr);
 
 }  // namespace lumen::sim

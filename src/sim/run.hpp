@@ -21,6 +21,10 @@
 #include <span>
 #include <vector>
 
+namespace lumen::util {
+class ThreadPool;
+}
+
 namespace lumen::sim {
 
 enum class SchedulerKind { kFsync, kSsync, kAsync };
@@ -59,6 +63,15 @@ struct RunConfig {
   /// guarantee that keeps Zeno behaviours out.
   bool rigid_moves = true;
   double nonrigid_min_progress = 0.5;
+  /// Optional in-run worker pool (non-owning; nullptr = serial). The SYNC
+  /// drivers fan each round's Look+Compute over it — every activated robot
+  /// snapshots the same pre-round configuration and Compute is a pure
+  /// function of the snapshot, so results are bit-identical for any pool
+  /// size (pinned by tests/sim_pool_invariance_test.cpp). ASYNC ignores it:
+  /// the event loop interleaves single-robot phases, so there is no
+  /// intra-run batch to parallelize (DESIGN.md §10). Not serialized by
+  /// config_io (a pool is a process-local resource, not configuration).
+  util::ThreadPool* pool = nullptr;
 };
 
 struct RunResult {

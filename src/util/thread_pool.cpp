@@ -4,6 +4,12 @@
 
 namespace lumen::util {
 
+namespace {
+/// The pool whose worker_loop is running on this thread (nullptr on
+/// non-worker threads) — how parallel_for detects nested invocation.
+thread_local const ThreadPool* t_worker_of = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads;
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -42,6 +48,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -73,17 +80,29 @@ void ThreadPool::record_exception() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
+  parallel_for_slots(
+      count, [&body](std::size_t, std::size_t i) { body(i); }, grain);
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (count == 0) return;
   if (grain == 0) grain = 1;
+  if (t_worker_of == this) {
+    // Nested region on one of our own workers: run inline (see header).
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   const std::size_t tasks = std::min(workers_.size(), (count + grain - 1) / grain);
   for (std::size_t t = 0; t < tasks; ++t) {
-    submit([next, count, grain, &body] {
+    submit([next, count, grain, &body, t] {
       for (;;) {
         const std::size_t begin = next->fetch_add(grain);
         if (begin >= count) return;
         const std::size_t end = std::min(begin + grain, count);
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        for (std::size_t i = begin; i < end; ++i) body(t, i);
       }
     });
   }

@@ -39,8 +39,29 @@ class ThreadPool {
   /// Runs body(i) for i in [0, count), distributing dynamically across the
   /// pool and blocking until done. `grain` indices are claimed at a time.
   /// Rethrows the first exception thrown by any invocation.
+  ///
+  /// Reentrant: called from one of this pool's own worker threads (a nested
+  /// parallel region), the loop runs inline on that worker instead of
+  /// enqueuing — queueing and then blocking in wait_idle from inside a
+  /// task would deadlock the pool. Nesting therefore serializes, which is
+  /// exactly the right degradation: the outer region already owns all the
+  /// workers.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
+
+  /// As parallel_for, but hands the body a stable slot id in
+  /// [0, slot_count()) alongside the index. Two invocations with the same
+  /// slot never run concurrently, so slot-indexed scratch buffers need no
+  /// synchronization. Nested (inline) execution uses slot 0.
+  void parallel_for_slots(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 1);
+
+  /// Upper bound (exclusive) on the slot ids parallel_for_slots passes.
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return workers_.empty() ? 1 : workers_.size();
+  }
 
  private:
   void worker_loop();

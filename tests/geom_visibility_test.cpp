@@ -9,6 +9,7 @@
 
 #include "geom/hull.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lumen::geom {
 namespace {
@@ -102,6 +103,110 @@ TEST(Visibility, FastMatchesNaiveOnCollinearClusters) {
       ASSERT_EQ(fast.sees(i, j), slow.sees(i, j)) << i << "," << j;
     }
   }
+}
+
+TEST(Visibility, FastMatchesNaiveOnRandomGridConfigs) {
+  // Grid-snapped random points: dense exact collinearity, shared rays and
+  // COINCIDENT robots (duplicates are likely on a 7x7 grid) — the regime
+  // where the sweep's equal-direction runs have length > 1 and the
+  // per-observer relation must still equal the naive blocking relation.
+  util::Prng rng{55};
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 2 + rng.next_below(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<double>(rng.next_below(7)) - 3.0,
+                     static_cast<double>(rng.next_below(7)) - 3.0});
+    }
+    const auto fast = compute_visibility(pts);
+    const auto slow = compute_visibility_naive(pts);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(fast.sees(i, j), slow.sees(i, j))
+            << "iter " << iter << " pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Visibility, PooledComputeMatchesSerialBitForBit) {
+  // The parallel observer sweep engages at >= 32 points; its row-only fill
+  // must reproduce the serial graph exactly for every pool size, including
+  // on grid configs with coincident points and shared rays.
+  util::Prng rng{66};
+  for (const bool grid : {false, true}) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 80; ++i) {
+      if (grid) {
+        pts.push_back({static_cast<double>(rng.next_below(9)),
+                       static_cast<double>(rng.next_below(9))});
+      } else {
+        pts.push_back({rng.uniform(-20, 20), rng.uniform(-20, 20)});
+      }
+    }
+    const auto serial = compute_visibility(pts);
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      util::ThreadPool pool{workers};
+      const auto pooled = compute_visibility(pts, &pool);
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        for (std::size_t j = 0; j < pts.size(); ++j) {
+          ASSERT_EQ(pooled.sees(i, j), serial.sees(i, j))
+              << "grid=" << grid << " workers=" << workers << " pair " << i
+              << "," << j;
+        }
+      }
+      EXPECT_EQ(complete_visibility(pts, &pool), serial.complete());
+    }
+  }
+}
+
+TEST(Visibility, BlockBookkeepingAcrossWordBoundaries) {
+  // The popcount representation packs rows into 64-bit words; sizes around
+  // the word boundary exercise the partial-word masks in edge_count,
+  // degree and complete.
+  for (const std::size_t n : {1u, 2u, 63u, 64u, 65u, 128u, 130u}) {
+    VisibilityGraph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) g.set(i, j);
+    }
+    EXPECT_EQ(g.edge_count(), n * (n - 1) / 2) << n;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(g.degree(i), n - 1) << n;
+    EXPECT_TRUE(g.complete()) << n;
+  }
+  // Dropping a single edge — straddling a word boundary — must be seen by
+  // all three accessors.
+  VisibilityGraph g(65);
+  for (std::size_t i = 0; i < 65; ++i) {
+    for (std::size_t j = i + 1; j < 65; ++j) {
+      if (i == 2 && j == 64) continue;  // Bit 64 lives in row 2's second word.
+      g.set(i, j);
+    }
+  }
+  EXPECT_FALSE(g.sees(2, 64));
+  EXPECT_FALSE(g.sees(64, 2));
+  EXPECT_FALSE(g.complete());
+  EXPECT_EQ(g.edge_count(), 65u * 64u / 2 - 1);
+  EXPECT_EQ(g.degree(2), 63u);
+  EXPECT_EQ(g.degree(64), 63u);
+}
+
+TEST(Visibility, CoincidentClusterMatchesNaive) {
+  // Three coincident robots plus outside observers: naive semantics say the
+  // outsiders see ALL of them (a blocker must lie STRICTLY between), while
+  // the coincident robots never see each other.
+  const std::vector<Vec2> pts = {{-1, 0}, {0, 0}, {0, 0}, {0, 0}, {2, 0}};
+  const auto fast = compute_visibility(pts);
+  const auto slow = compute_visibility_naive(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      ASSERT_EQ(fast.sees(i, j), slow.sees(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_TRUE(fast.sees(0, 1));
+  EXPECT_TRUE(fast.sees(0, 2));
+  EXPECT_TRUE(fast.sees(0, 3));
+  EXPECT_FALSE(fast.sees(1, 2));   // Coincident pair.
+  EXPECT_FALSE(fast.sees(0, 4));   // Blocked by the cluster.
 }
 
 TEST(Visibility, CoincidentRobotsNeverSeeEachOther) {

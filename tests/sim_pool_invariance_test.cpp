@@ -1,0 +1,139 @@
+// Pool-size invariance: run_simulation with RunConfig::pool set must be
+// bit-identical to the serial run for ANY pool size — that is the whole
+// determinism contract of the in-run Look+Compute fan-out (DESIGN.md §10).
+//
+// Every field of RunResult is digested bit-for-bit (doubles by bit pattern,
+// the full move log included) and compared against the pool-free run across
+// pool sizes 1, 2 and hardware_concurrency for all three schedulers. ASYNC
+// ignores the pool by design; it is included to pin exactly that.
+#include "core/registry.hpp"
+#include "gen/generators.hpp"
+#include "sim/run.hpp"
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace lumen::sim {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t bits(double d) noexcept {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::uint64_t run_digest(const RunResult& r) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, r.converged ? 1 : 0);
+  h = mix(h, bits(r.final_time));
+  h = mix(h, r.epochs);
+  h = mix(h, r.rounds);
+  h = mix(h, r.total_cycles);
+  h = mix(h, r.total_moves);
+  h = mix(h, bits(r.total_distance));
+  for (const auto& p : r.initial_positions) {
+    h = mix(h, bits(p.x));
+    h = mix(h, bits(p.y));
+  }
+  for (const auto& p : r.final_positions) {
+    h = mix(h, bits(p.x));
+    h = mix(h, bits(p.y));
+  }
+  for (const model::Light l : r.final_lights) {
+    h = mix(h, static_cast<std::uint64_t>(l));
+  }
+  for (const auto& m : r.moves) {
+    h = mix(h, m.robot);
+    h = mix(h, bits(m.t0));
+    h = mix(h, bits(m.t1));
+    h = mix(h, bits(m.from.x));
+    h = mix(h, bits(m.from.y));
+    h = mix(h, bits(m.to.x));
+    h = mix(h, bits(m.to.y));
+  }
+  for (const bool b : r.lights_seen) h = mix(h, b ? 1 : 0);
+  return h;
+}
+
+struct Case {
+  const char* label;
+  const char* algorithm;
+  SchedulerKind scheduler;
+  std::size_t n;
+  std::uint64_t seed;
+  bool rigid;
+};
+
+const Case kCases[] = {
+    {"fsync", "ssync-parallel", SchedulerKind::kFsync, 24, 5, true},
+    {"ssync-randomhalf", "ssync-parallel", SchedulerKind::kSsync, 24, 5, true},
+    {"ssync-nonrigid", "ssync-parallel", SchedulerKind::kSsync, 20, 9, false},
+    {"async", "async-log", SchedulerKind::kAsync, 16, 7, true},
+};
+
+RunResult run_case(const Case& c, util::ThreadPool* pool) {
+  RunConfig config;
+  config.scheduler = c.scheduler;
+  config.seed = c.seed;
+  config.rigid_moves = c.rigid;
+  config.pool = pool;
+  const auto initial = gen::generate(gen::ConfigFamily::kUniformDisk, c.n, c.seed);
+  const auto algo = core::make_algorithm(c.algorithm);
+  return run_simulation(*algo, initial, config);
+}
+
+TEST(PoolInvariance, RunResultsAreBitIdenticalForAnyPoolSize) {
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  std::vector<std::size_t> sizes = {1, 2};
+  if (hw > 2) sizes.push_back(hw);
+  for (const Case& c : kCases) {
+    const std::uint64_t serial = run_digest(run_case(c, nullptr));
+    for (const std::size_t workers : sizes) {
+      util::ThreadPool pool{workers};
+      const std::uint64_t pooled = run_digest(run_case(c, &pool));
+      EXPECT_EQ(pooled, serial) << c.label << " pool=" << workers;
+    }
+  }
+}
+
+TEST(PoolInvariance, RepeatedRunsOnOnePoolStayIdentical) {
+  // A shared pool across many runs (the campaign pattern) must not leak
+  // state between runs: per-slot scratch is wiped by construction.
+  util::ThreadPool pool{2};
+  const std::uint64_t first = run_digest(run_case(kCases[1], &pool));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(run_digest(run_case(kCases[1], &pool)), first) << "iteration " << i;
+  }
+}
+
+TEST(PoolInvariance, NestedCampaignUseIsIdenticalToSerialCampaign) {
+  // Simulate the campaign topology: pool workers each running a simulation
+  // that ALSO holds the same pool (nested fan-out degrades to inline-serial
+  // instead of deadlocking). Results must equal the pool-free runs.
+  util::ThreadPool pool{2};
+  std::vector<std::uint64_t> nested(4), serial(4);
+  pool.parallel_for(nested.size(), [&](std::size_t i) {
+    Case c = kCases[1];
+    c.seed += i;
+    nested[i] = run_digest(run_case(c, &pool));
+  });
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    Case c = kCases[1];
+    c.seed += i;
+    serial[i] = run_digest(run_case(c, nullptr));
+  }
+  EXPECT_EQ(nested, serial);
+}
+
+}  // namespace
+}  // namespace lumen::sim

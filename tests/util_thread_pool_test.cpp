@@ -72,6 +72,69 @@ TEST(ThreadPool, SizeReflectsConstruction) {
   EXPECT_GE(global_pool().size(), 1u);
 }
 
+TEST(ThreadPool, ParallelForSlotsCoversAllIndicesWithValidSlots) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.slot_count(), 4u);
+  std::vector<std::atomic<int>> hits(777);
+  std::atomic<bool> slot_ok{true};
+  pool.parallel_for_slots(777, [&](std::size_t slot, std::size_t i) {
+    if (slot >= pool.slot_count()) slot_ok = false;
+    hits[i].fetch_add(1);
+  });
+  EXPECT_TRUE(slot_ok.load());
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForSlotsNeverRunsOneSlotConcurrently) {
+  // The slot contract: tasks sharing a slot id are serialized, so per-slot
+  // scratch needs no synchronization. Flag any overlapping entry.
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> in_slot(pool.slot_count());
+  std::atomic<bool> overlapped{false};
+  pool.parallel_for_slots(
+      500,
+      [&](std::size_t slot, std::size_t) {
+        if (in_slot[slot].fetch_add(1) != 0) overlapped = true;
+        in_slot[slot].fetch_sub(1);
+      },
+      /*grain=*/8);
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // Campaign topology: a pool worker's task fans out on the SAME pool. The
+  // nested call must degrade to an inline serial loop (a worker blocking in
+  // wait_idle on its own pool would deadlock).
+  ThreadPool pool{2};
+  std::vector<std::atomic<int>> outer_hits(8);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t i) {
+    outer_hits[i].fetch_add(1);
+    pool.parallel_for_slots(50, [&](std::size_t slot, std::size_t) {
+      EXPECT_EQ(slot, 0u);  // Inline nested execution pins slot 0.
+      inner_total.fetch_add(1);
+    });
+  });
+  for (const auto& h : outer_hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(inner_total.load(), 8 * 50);
+}
+
+TEST(ThreadPool, NestedCallOnADifferentPoolStillRunsParallel) {
+  ThreadPool outer{2};
+  ThreadPool inner{2};
+  std::atomic<int> total{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for_slots(25, [&](std::size_t, std::size_t) {
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
 TEST(ThreadPool, OrderIndependentReductionMatchesSerial) {
   // The campaign pattern: per-index slots written in parallel equal the
   // serial result exactly.
