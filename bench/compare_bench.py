@@ -90,6 +90,17 @@ def main(argv):
         print("error: no shared benchmarks between the two files",
               file=sys.stderr)
         return 2
+    # Benchmarks present in only one file are expected across revisions
+    # (kernels get added and retired); warn so renames don't silently
+    # shrink the gated set, then compare the intersection.
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    if only_base:
+        print(f"warning: {len(only_base)} benchmark(s) only in baseline, "
+              f"skipped: {', '.join(only_base)}", file=sys.stderr)
+    if only_cur:
+        print(f"warning: {len(only_cur)} benchmark(s) only in current, "
+              f"skipped: {', '.join(only_cur)}", file=sys.stderr)
 
     failures = []
     print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'ratio':>8}")

@@ -32,6 +32,24 @@ std::size_t CampaignResult::max_colors() const noexcept {
   return best;
 }
 
+std::size_t CampaignResult::outcome_count(sim::RunOutcome outcome) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(runs.begin(), runs.end(), [outcome](const RunMetrics& m) {
+        return m.outcome == outcome;
+      }));
+}
+
+fault::FaultCounters CampaignResult::fault_totals() const noexcept {
+  fault::FaultCounters totals;
+  for (const auto& m : runs) {
+    totals.crashes += m.faults.crashes;
+    totals.corrupted_reads += m.faults.corrupted_reads;
+    totals.dropped_observations += m.faults.dropped_observations;
+    totals.perturbed_observations += m.faults.perturbed_observations;
+  }
+  return totals;
+}
+
 util::Summary CampaignResult::epochs() const {
   std::vector<double> xs;
   xs.reserve(runs.size());
@@ -80,8 +98,14 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
     // below — a large-N run's rounds genuinely parallelize. Either way the
     // results are bit-identical (pool-size invariance, see run.hpp).
     config.pool = &workers;
+    // Fault-injected audited runs swap the bare collision monitor for the
+    // attributing SafetyMonitor; on fault-free runs both produce identical
+    // reports, so the plain monitor keeps the historical hot path.
+    const bool attribute_faults = spec.audit_collisions && spec.run.fault.any();
     sim::StreamingCollisionMonitor monitor(spec.collision_tolerance);
-    sim::RunObserver* observers[] = {&monitor};
+    sim::SafetyMonitor safety(spec.collision_tolerance);
+    sim::RunObserver* observers[] = {
+        attribute_faults ? static_cast<sim::RunObserver*>(&safety) : &monitor};
     const auto run =
         spec.audit_collisions
             ? sim::run_simulation(*algorithm, initial, config, observers)
@@ -95,14 +119,21 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
     m.moves = run.total_moves;
     m.distance = run.total_distance;
     m.colors = run.distinct_lights_used();
+    m.outcome = run.outcome;
+    m.faults = run.faults;
     m.visibility_ok =
         sim::verify_complete_visibility(run.final_positions, &workers).complete();
     if (spec.audit_collisions) {
-      const sim::CollisionReport& report = monitor.report();
+      const sim::CollisionReport& report =
+          attribute_faults ? safety.report() : monitor.report();
       m.collision_free = report.hazard_free(1e-9);
       m.min_observed_separation = report.min_separation;
       m.path_crossings = report.path_crossings;
       m.position_collisions = report.position_collisions;
+      if (report.position_collisions > 0) {
+        m.outcome = sim::RunOutcome::kCollision;
+        if (attribute_faults) m.collision_channel = safety.dominant_channel();
+      }
     }
     result.runs[slot] = m;
   };

@@ -9,6 +9,7 @@
 // EXPERIMENTS.md carries its own evidence.
 #pragma once
 
+#include "fault/events.hpp"
 #include "gen/generators.hpp"
 #include "sim/run.hpp"
 #include "util/stats.hpp"
@@ -57,6 +58,14 @@ struct RunMetrics {
   double min_observed_separation = 0.0;
   std::size_t path_crossings = 0;
   std::size_t position_collisions = 0;
+  /// Outcome classification: the engine's verdict, upgraded to kCollision
+  /// when the audit found position collisions.
+  sim::RunOutcome outcome = sim::RunOutcome::kBudgetExhausted;
+  /// Per-channel injected-fault totals for this run.
+  fault::FaultCounters faults;
+  /// The fault channel the safety monitor blames for the run's collision
+  /// incidents (kNone when incident-free or unaudited).
+  fault::FaultChannel collision_channel = fault::FaultChannel::kNone;
 };
 
 struct CampaignResult {
@@ -67,6 +76,10 @@ struct CampaignResult {
   [[nodiscard]] std::size_t visibility_ok_count() const noexcept;
   [[nodiscard]] std::size_t collision_free_count() const noexcept;
   [[nodiscard]] std::size_t max_colors() const noexcept;
+  /// Runs classified as `outcome` (after any audit-driven upgrade).
+  [[nodiscard]] std::size_t outcome_count(sim::RunOutcome outcome) const noexcept;
+  /// Injected-fault totals summed over every run in the campaign.
+  [[nodiscard]] fault::FaultCounters fault_totals() const noexcept;
   /// Summary over CONVERGED runs' epoch counts.
   [[nodiscard]] util::Summary epochs() const;
   [[nodiscard]] util::Summary moves() const;

@@ -551,6 +551,188 @@ ExperimentResult run_ablation(const ScenarioSpec& spec, util::ThreadPool* pool) 
 }
 
 // ---------------------------------------------------------------------------
+// E9 — crash tolerance: degradation under crash-stop faults. Crashed robots
+// stop forever but keep obstructing, so the survivors must still reach a
+// mutually-visible fixpoint around the dead bodies. Reports quiescence,
+// final-configuration visibility (over ALL robots, dead included — the
+// paper's postcondition) and epoch inflation relative to the fault-free
+// baseline, per (N, f).
+
+ExperimentResult run_crash_tolerance(const ScenarioSpec& spec,
+                                     util::ThreadPool* pool) {
+  ExperimentResult result;
+  result.experiment = "crash-tolerance";
+  result.title =
+      "E9: degradation under crash-stop faults — quiescence and epoch "
+      "inflation vs crash budget f";
+  result.columns = {"N",          "f",          "runs",
+                    "quiescent",  "visible",    "budget-exh",
+                    "crashes(mean)", "epochs(mean)", "inflation"};
+  const std::size_t fs[] = {0, 1, 2, 4, 8};
+  bool fault_free_clean = true;
+
+  for (const std::size_t n : spec.ns) {
+    double baseline_epochs = 0.0;
+    for (const std::size_t f : fs) {
+      if (f >= n) continue;
+      CampaignSpec campaign = spec.campaign(n);
+      campaign.run.fault.crash.count = f;
+      if (campaign.run.fault.crash.schedule == fault::CrashScheduleKind::kRate &&
+          campaign.run.fault.crash.rate <= 0.0) {
+        campaign.run.fault.crash.rate = 0.05;
+      }
+      const auto r = run_campaign(campaign, pool);
+      const std::size_t quiescent = r.converged_count();
+      const std::size_t visible = r.visibility_ok_count();
+      const double crashes_mean =
+          static_cast<double>(r.fault_totals().crashes) /
+          static_cast<double>(std::max<std::size_t>(1, r.runs.size()));
+      const double epochs_mean = r.epochs().mean;
+      if (f == 0) {
+        baseline_epochs = epochs_mean;
+        fault_free_clean = fault_free_clean && quiescent == r.runs.size() &&
+                           visible == r.runs.size();
+      }
+      result.row() = {
+          cell(n),
+          cell(f),
+          cell(r.runs.size()),
+          cell(quiescent),
+          cell(visible),
+          cell(r.outcome_count(sim::RunOutcome::kBudgetExhausted)),
+          cell(crashes_mean, 2),
+          cell(epochs_mean, 1),
+          baseline_epochs > 0.0 ? cell(epochs_mean / baseline_epochs, 2)
+                                : cell("-")};
+    }
+  }
+
+  result.notes.push_back(
+      "quiescent counts both converged and stalled-with-crashes runs; "
+      "`visible` audits the FULL final configuration, so dead interior "
+      "bodies count against it.");
+  result.checks.push_back(
+      {"fault-free rows (f=0) fully quiescent with complete visibility",
+       fault_free_clean});
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// E10 — light corruption: safety under misread colors. A corrupted Look
+// feeds the algorithm a wrong color for a visible robot, which can break
+// the beacon handshake's mutual-exclusion argument — the experiment
+// measures how quickly position collisions appear as the per-read
+// corruption probability grows, with incidents attributed by the
+// SafetyMonitor.
+
+ExperimentResult run_light_corruption(const ScenarioSpec& spec,
+                                      util::ThreadPool* pool) {
+  ExperimentResult result;
+  result.experiment = "light-corruption";
+  result.title =
+      "E10: safety under light-corruption faults — collisions vs per-read "
+      "misread probability";
+  result.columns = {"mode",      "p",        "runs",
+                    "quiescent", "visible",  "position-coll",
+                    "crossings", "corrupted-reads", "blamed-light"};
+  const std::size_t n = spec.ns.front();
+  const double ps[] = {0.0, 0.01, 0.05, 0.1, 0.25, 0.5};
+  bool fault_free_clean = true;
+
+  for (const double p : ps) {
+    CampaignSpec campaign = spec.campaign(n);
+    campaign.audit_collisions = true;
+    campaign.run.fault.light.probability = p;
+    const auto r = run_campaign(campaign, pool);
+    std::size_t collisions = 0, crossings = 0, blamed_light = 0;
+    for (const auto& m : r.runs) {
+      collisions += m.position_collisions;
+      crossings += m.path_crossings;
+      if (m.collision_channel == fault::FaultChannel::kLight) ++blamed_light;
+    }
+    if (p == 0.0) {
+      fault_free_clean = r.converged_count() == r.runs.size() &&
+                         r.visibility_ok_count() == r.runs.size() &&
+                         collisions == 0;
+    }
+    result.row() = {cell(to_string(campaign.run.fault.light.mode)),
+                    cell(p, 2),
+                    cell(r.runs.size()),
+                    cell(r.converged_count()),
+                    cell(r.visibility_ok_count()),
+                    cell(collisions),
+                    cell(crossings),
+                    cell(static_cast<std::size_t>(
+                        r.fault_totals().corrupted_reads)),
+                    cell(blamed_light)};
+  }
+
+  result.notes.push_back(
+      "blamed-light counts runs whose collision incidents the SafetyMonitor "
+      "attributes to the light channel (the only active channel here).");
+  result.checks.push_back(
+      {"fault-free row (p=0) converged, visible and collision-free",
+       fault_free_clean});
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// E11 — sensor noise: convergence tolerance to Gaussian position error and
+// observation dropout in the Look snapshot. The observed view is perturbed,
+// the ground truth is not, so this measures how much sensing error the
+// geometry tolerates before runs stop reaching a quiescent visible
+// configuration.
+
+ExperimentResult run_sensor_noise(const ScenarioSpec& spec,
+                                  util::ThreadPool* pool) {
+  ExperimentResult result;
+  result.experiment = "sensor-noise";
+  result.title =
+      "E11: convergence under sensor noise — quiescence vs Gaussian "
+      "position-error sigma";
+  result.columns = {"sigma",      "dropout", "runs",
+                    "quiescent",  "visible", "budget-exh",
+                    "perturbed(mean)", "epochs(mean)"};
+  const std::size_t n = spec.ns.front();
+  const double sigmas[] = {0.0, 1e-3, 3e-3, 0.01, 0.03, 0.1};
+  bool fault_free_clean = true;
+  double tolerated_sigma = 0.0;
+
+  for (const double sigma : sigmas) {
+    CampaignSpec campaign = spec.campaign(n);
+    campaign.run.fault.noise.sigma = sigma;
+    const auto r = run_campaign(campaign, pool);
+    const std::size_t quiescent = r.converged_count();
+    const std::size_t visible = r.visibility_ok_count();
+    if (sigma == 0.0) {
+      fault_free_clean =
+          quiescent == r.runs.size() && visible == r.runs.size();
+    }
+    if (2 * quiescent >= r.runs.size() && sigma > tolerated_sigma) {
+      tolerated_sigma = sigma;
+    }
+    result.row() = {
+        cell(sigma, 4),
+        cell(campaign.run.fault.noise.dropout, 2),
+        cell(r.runs.size()),
+        cell(quiescent),
+        cell(visible),
+        cell(r.outcome_count(sim::RunOutcome::kBudgetExhausted)),
+        cell(static_cast<double>(r.fault_totals().perturbed_observations) /
+                 static_cast<double>(std::max<std::size_t>(1, r.runs.size())),
+             0),
+        cell(r.epochs().mean, 1)};
+  }
+
+  result.notes.push_back(strfmt(
+      "largest swept sigma with >= 50%% quiescent runs: %g", tolerated_sigma));
+  result.checks.push_back(
+      {"noise-free row (sigma=0) fully quiescent with complete visibility",
+       fault_free_clean});
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 
 ScenarioSpec make_defaults(std::vector<std::size_t> ns, std::size_t runs,
                            bool audit) {
@@ -665,6 +847,52 @@ ExperimentRegistry::ExperimentRegistry() {
         "what each mechanism costs in epochs/moves/safety.";
     e.defaults = make_defaults({96}, 5, true);
     e.run = run_ablation;
+    experiments_.push_back(std::move(e));
+  }
+  {
+    Experiment e;
+    e.name = "crash-tolerance";
+    e.id = "E9";
+    e.description =
+        "Crash-stop degradation: up to f robots die at cycle boundaries "
+        "(rate-parameterized unless the spec's fault plan sets a times "
+        "schedule) but keep obstructing; sweeps f in {0,1,2,4,8} over `ns` "
+        "and reports quiescence, full-configuration visibility and epoch "
+        "inflation vs the f=0 baseline. Collision audit off (E10 owns "
+        "safety).";
+    e.defaults = make_defaults({16, 64, 256}, 5, false);
+    e.defaults.run.max_cycles_per_robot = 256;
+    e.run = run_crash_tolerance;
+    experiments_.push_back(std::move(e));
+  }
+  {
+    Experiment e;
+    e.name = "light-corruption";
+    e.id = "E10";
+    e.description =
+        "Light-corruption safety: each color read independently misreads "
+        "with probability p (mode from the spec's fault plan; default "
+        "random); sweeps p in {0,0.01,0.05,0.1,0.25,0.5} at the first entry "
+        "of `ns` with the continuous collision audit on, attributing "
+        "incidents via the SafetyMonitor.";
+    e.defaults = make_defaults({24}, 6, true);
+    e.defaults.run.max_cycles_per_robot = 512;
+    e.run = run_light_corruption;
+    experiments_.push_back(std::move(e));
+  }
+  {
+    Experiment e;
+    e.name = "sensor-noise";
+    e.id = "E11";
+    e.description =
+        "Sensor-noise tolerance: observed positions are perturbed by "
+        "Gaussian noise of standard deviation sigma (dropout from the "
+        "spec's fault plan; default 0); sweeps sigma in "
+        "{0,1e-3,3e-3,0.01,0.03,0.1} at the first entry of `ns` and reports "
+        "the largest sigma that still yields >= 50% quiescent runs.";
+    e.defaults = make_defaults({24}, 6, false);
+    e.defaults.run.max_cycles_per_robot = 512;
+    e.run = run_sensor_noise;
     experiments_.push_back(std::move(e));
   }
 }

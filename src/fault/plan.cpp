@@ -1,0 +1,199 @@
+#include "fault/plan.hpp"
+
+#include "util/strings.hpp"
+
+namespace lumen::fault {
+
+std::string_view to_string(CrashScheduleKind k) noexcept {
+  switch (k) {
+    case CrashScheduleKind::kRate: return "rate";
+    case CrashScheduleKind::kTimes: return "times";
+  }
+  return "?";
+}
+
+std::optional<CrashScheduleKind> crash_schedule_from_string(
+    std::string_view name) noexcept {
+  for (const auto k : {CrashScheduleKind::kRate, CrashScheduleKind::kTimes}) {
+    if (util::iequals(to_string(k), name)) return k;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(CorruptionMode m) noexcept {
+  switch (m) {
+    case CorruptionMode::kStuck: return "stuck";
+    case CorruptionMode::kFlip: return "flip";
+    case CorruptionMode::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::optional<CorruptionMode> corruption_mode_from_string(
+    std::string_view name) noexcept {
+  for (const auto m : {CorruptionMode::kStuck, CorruptionMode::kFlip,
+                       CorruptionMode::kRandom}) {
+    if (util::iequals(to_string(m), name)) return m;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr && error->empty()) *error = std::move(message);
+}
+
+/// A probability-like field: a number in [0, 1].
+bool read_unit(const util::JsonValue& v, double& out, std::string_view key,
+               std::string* error) {
+  if (!v.is_number() || v.as_double() < 0.0 || v.as_double() > 1.0) {
+    set_error(error, "fault." + std::string(key) + " must be a number in [0, 1]");
+    return false;
+  }
+  out = v.as_double();
+  return true;
+}
+
+}  // namespace
+
+util::JsonValue fault_plan_to_json(const FaultPlan& plan) {
+  util::JsonValue crash = util::JsonValue::object();
+  crash.set("count",
+            util::JsonValue::integer(static_cast<std::int64_t>(plan.crash.count)));
+  crash.set("schedule", util::JsonValue::string(
+                            std::string(to_string(plan.crash.schedule))));
+  crash.set("rate", util::JsonValue::number(plan.crash.rate));
+  util::JsonValue times = util::JsonValue::array();
+  for (const double t : plan.crash.times) {
+    times.push_back(util::JsonValue::number(t));
+  }
+  crash.set("times", std::move(times));
+
+  util::JsonValue light = util::JsonValue::object();
+  light.set("probability", util::JsonValue::number(plan.light.probability));
+  light.set("mode",
+            util::JsonValue::string(std::string(to_string(plan.light.mode))));
+
+  util::JsonValue noise = util::JsonValue::object();
+  noise.set("sigma", util::JsonValue::number(plan.noise.sigma));
+  noise.set("dropout", util::JsonValue::number(plan.noise.dropout));
+
+  util::JsonValue obj = util::JsonValue::object();
+  obj.set("crash", std::move(crash));
+  obj.set("light", std::move(light));
+  obj.set("noise", std::move(noise));
+  return obj;
+}
+
+std::optional<FaultPlan> fault_plan_from_json(const util::JsonValue& json,
+                                              std::string* error) {
+  if (!json.is_object()) {
+    set_error(error, "fault plan must be a JSON object");
+    return std::nullopt;
+  }
+  FaultPlan plan;
+  bool ok = true;
+  for (const auto& [key, value] : json.members()) {
+    if (key == "crash") {
+      if (!value.is_object()) {
+        set_error(error, "fault.crash must be a JSON object");
+        ok = false;
+        continue;
+      }
+      for (const auto& [ckey, cvalue] : value.members()) {
+        if (ckey == "count") {
+          if (!cvalue.is_integer() || cvalue.as_int() < 0) {
+            set_error(error, "fault.crash.count must be a non-negative integer");
+            ok = false;
+          } else {
+            plan.crash.count = static_cast<std::size_t>(cvalue.as_int());
+          }
+        } else if (ckey == "schedule") {
+          if (const auto k = cvalue.is_string()
+                                 ? crash_schedule_from_string(cvalue.as_string())
+                                 : std::nullopt) {
+            plan.crash.schedule = *k;
+          } else {
+            set_error(error, "fault.crash.schedule: unknown schedule kind");
+            ok = false;
+          }
+        } else if (ckey == "rate") {
+          ok = read_unit(cvalue, plan.crash.rate, "crash.rate", error) && ok;
+        } else if (ckey == "times") {
+          if (!cvalue.is_array()) {
+            set_error(error, "fault.crash.times must be an array of numbers >= 0");
+            ok = false;
+            continue;
+          }
+          plan.crash.times.clear();
+          for (const auto& item : cvalue.items()) {
+            if (!item.is_number() || item.as_double() < 0.0) {
+              set_error(error,
+                        "fault.crash.times must contain only numbers >= 0");
+              ok = false;
+              break;
+            }
+            plan.crash.times.push_back(item.as_double());
+          }
+        } else {
+          set_error(error, "fault.crash: unknown key \"" + ckey + "\"");
+          ok = false;
+        }
+      }
+    } else if (key == "light") {
+      if (!value.is_object()) {
+        set_error(error, "fault.light must be a JSON object");
+        ok = false;
+        continue;
+      }
+      for (const auto& [lkey, lvalue] : value.members()) {
+        if (lkey == "probability") {
+          ok = read_unit(lvalue, plan.light.probability, "light.probability",
+                         error) &&
+               ok;
+        } else if (lkey == "mode") {
+          if (const auto m = lvalue.is_string()
+                                 ? corruption_mode_from_string(lvalue.as_string())
+                                 : std::nullopt) {
+            plan.light.mode = *m;
+          } else {
+            set_error(error, "fault.light.mode: unknown corruption mode");
+            ok = false;
+          }
+        } else {
+          set_error(error, "fault.light: unknown key \"" + lkey + "\"");
+          ok = false;
+        }
+      }
+    } else if (key == "noise") {
+      if (!value.is_object()) {
+        set_error(error, "fault.noise must be a JSON object");
+        ok = false;
+        continue;
+      }
+      for (const auto& [nkey, nvalue] : value.members()) {
+        if (nkey == "sigma") {
+          if (!nvalue.is_number() || nvalue.as_double() < 0.0) {
+            set_error(error, "fault.noise.sigma must be a number >= 0");
+            ok = false;
+          } else {
+            plan.noise.sigma = nvalue.as_double();
+          }
+        } else if (nkey == "dropout") {
+          ok = read_unit(nvalue, plan.noise.dropout, "noise.dropout", error) && ok;
+        } else {
+          set_error(error, "fault.noise: unknown key \"" + nkey + "\"");
+          ok = false;
+        }
+      }
+    } else {
+      set_error(error, "fault plan: unknown key \"" + key + "\"");
+      ok = false;
+    }
+  }
+  if (!ok) return std::nullopt;
+  return plan;
+}
+
+}  // namespace lumen::fault

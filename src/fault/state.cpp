@@ -1,0 +1,141 @@
+#include "fault/state.hpp"
+
+#include <algorithm>
+
+namespace lumen::fault {
+
+void FaultState::init(const FaultPlan& plan, const util::Prng& master,
+                      std::size_t n) {
+  plan_ = plan;
+  crashed_.assign(n, 0);
+  crash_count_ = 0;
+  next_time_ = 0;
+  crash_enabled_ = plan.crash.active();
+  light_active_ = plan.light.active();
+  noise_active_ = plan.noise.active();
+  corrupted_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  perturbed_.store(0, std::memory_order_relaxed);
+  if (crash_enabled_) {
+    crash_rng_ = master.split("fault-crash");
+    if (plan_.crash.schedule == CrashScheduleKind::kTimes) {
+      times_ = plan_.crash.times;
+      std::sort(times_.begin(), times_.end());
+    }
+  }
+  if (view_active()) view_base_ = master.split("fault-view");
+}
+
+bool FaultState::try_crash(std::size_t robot, double time) {
+  if (!crash_enabled_ || crashed_[robot] != 0 ||
+      crash_count_ >= plan_.crash.count) {
+    return false;
+  }
+  bool dies = false;
+  if (plan_.crash.schedule == CrashScheduleKind::kRate) {
+    dies = crash_rng_.bernoulli(plan_.crash.rate);
+  } else if (next_time_ < times_.size() && time >= times_[next_time_]) {
+    // The first live robot to start a cycle at or after the scheduled
+    // instant claims it.
+    ++next_time_;
+    dies = true;
+  }
+  if (dies) {
+    crashed_[robot] = 1;
+    ++crash_count_;
+  }
+  return dies;
+}
+
+util::Prng FaultState::look_rng(std::size_t robot,
+                               std::uint64_t look_seq) const noexcept {
+  return view_base_.split(static_cast<std::uint64_t>(robot)).split(look_seq);
+}
+
+std::size_t FaultState::make_noisy_view(std::size_t observer, util::Prng& rng,
+                                        std::span<const geom::Vec2> world,
+                                        std::span<const model::Light> lights,
+                                        ViewScratch& view,
+                                        LookFaultStats& stats) const {
+  view.positions.clear();
+  view.lights.clear();
+  view.positions.reserve(world.size());
+  view.lights.reserve(world.size());
+  const double sigma = plan_.noise.sigma;
+  const double dropout = plan_.noise.dropout;
+  std::size_t observer_index = 0;
+  for (std::size_t j = 0; j < world.size(); ++j) {
+    if (j == observer) {
+      observer_index = view.positions.size();
+      view.positions.push_back(world[j]);
+      view.lights.push_back(lights[j]);
+      continue;
+    }
+    if (dropout > 0.0 && rng.bernoulli(dropout)) {
+      ++stats.dropped;
+      continue;
+    }
+    geom::Vec2 p = world[j];
+    if (sigma > 0.0) {
+      p.x += sigma * rng.normal();
+      p.y += sigma * rng.normal();
+      ++stats.perturbed;
+    }
+    view.positions.push_back(p);
+    view.lights.push_back(lights[j]);
+  }
+  return observer_index;
+}
+
+void FaultState::corrupt_lights(util::Prng& rng, model::Snapshot& snap,
+                                LookFaultStats& stats) const {
+  const double p = plan_.light.probability;
+  if (p <= 0.0) return;
+  for (auto& entry : snap.visible) {
+    if (!rng.bernoulli(p)) continue;
+    ++stats.corrupted;
+    switch (plan_.light.mode) {
+      case CorruptionMode::kStuck:
+        entry.light = model::Light::kOff;
+        break;
+      case CorruptionMode::kFlip: {
+        const auto i = static_cast<std::size_t>(entry.light);
+        entry.light = model::kAllLights[(i + 1) % model::kLightCount];
+        break;
+      }
+      case CorruptionMode::kRandom: {
+        // Uniform over the OTHER palette colors, so a corrupted read is
+        // always an actual misread.
+        const auto original = static_cast<std::uint64_t>(entry.light);
+        std::uint64_t pick = rng.next_below(model::kLightCount - 1);
+        if (pick >= original) ++pick;
+        entry.light = model::kAllLights[pick];
+        break;
+      }
+    }
+  }
+}
+
+void FaultState::account(const LookFaultStats& stats) const noexcept {
+  if (!stats.any()) return;
+  if (stats.corrupted != 0) {
+    corrupted_.fetch_add(stats.corrupted, std::memory_order_relaxed);
+  }
+  if (stats.dropped != 0) {
+    dropped_.fetch_add(stats.dropped, std::memory_order_relaxed);
+  }
+  if (stats.perturbed != 0) {
+    perturbed_.fetch_add(stats.perturbed, std::memory_order_relaxed);
+  }
+}
+
+FaultCounters FaultState::counters() const noexcept {
+  FaultCounters c;
+  c.crashes = crash_count_;
+  c.corrupted_reads = corrupted_.load(std::memory_order_relaxed);
+  c.dropped_observations = dropped_.load(std::memory_order_relaxed);
+  c.perturbed_observations = perturbed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace lumen::fault

@@ -1,0 +1,130 @@
+// lumen_fault: the per-run fault injection state.
+//
+// FaultState is the runtime counterpart of a FaultPlan, owned by
+// sim::ExecutionCore. Its determinism contract mirrors the engine's:
+//
+//  * Streams are derived from the run's master PRNG with split(), which
+//    does NOT advance the parent — an inactive plan therefore leaves every
+//    existing stream bit-identical to a fault-free run.
+//  * Crash decisions (try_crash) happen only in serial driver code and
+//    consume the dedicated "fault-crash" stream in driver order.
+//  * View corruption (noise + light misreads) draws from a per-Look stream
+//    derived as split(robot).split(look_seq) from the "fault-view" base,
+//    where look_seq is assigned serially. The draws are a pure function of
+//    (seed, robot, look_seq), so the parallel SYNC Look batch stays
+//    bit-identical for any pool size and any thread interleaving.
+//  * Counters touched from the parallel Look path are relaxed atomics; the
+//    final sums are order-independent.
+#pragma once
+
+#include "fault/events.hpp"
+#include "fault/plan.hpp"
+#include "model/light.hpp"
+#include "model/snapshot.hpp"
+#include "util/prng.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lumen::fault {
+
+/// What one Look's view corruption amounted to (feeds FaultEvents and the
+/// atomic whole-run counters).
+struct LookFaultStats {
+  std::uint32_t corrupted = 0;
+  std::uint32_t dropped = 0;
+  std::uint32_t perturbed = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return (corrupted | dropped | perturbed) != 0;
+  }
+};
+
+/// Reusable buffers for the noisy-view construction (one per engine plus
+/// one per pool slot, like model::SnapshotScratch).
+struct ViewScratch {
+  std::vector<geom::Vec2> positions;
+  std::vector<model::Light> lights;
+};
+
+class FaultState {
+ public:
+  FaultState() = default;
+  FaultState(const FaultState&) = delete;
+  FaultState& operator=(const FaultState&) = delete;
+
+  /// Binds the plan and derives the channel streams from `master` (not
+  /// advanced). Always sizes the crash bitmap to `n`, so crashed() is valid
+  /// for any plan including the empty one.
+  void init(const FaultPlan& plan, const util::Prng& master, std::size_t n);
+
+  [[nodiscard]] bool crash_enabled() const noexcept { return crash_enabled_; }
+  [[nodiscard]] bool noise_active() const noexcept { return noise_active_; }
+  /// True iff any Look-path channel (light corruption or sensor noise) is
+  /// live — the engine's fast path skips fault work entirely when false.
+  [[nodiscard]] bool view_active() const noexcept {
+    return light_active_ || noise_active_;
+  }
+
+  // -- Crash channel (serial driver code only) -------------------------------
+
+  /// Decides whether a live `robot` crash-stops as it begins a cycle at
+  /// `time`. Draws from the crash stream only while the budget remains;
+  /// never draws (and returns false) when the channel is inactive or the
+  /// robot is already dead.
+  [[nodiscard]] bool try_crash(std::size_t robot, double time);
+
+  [[nodiscard]] bool crashed(std::size_t robot) const noexcept {
+    return crashed_[robot] != 0;
+  }
+  [[nodiscard]] std::size_t crash_count() const noexcept { return crash_count_; }
+  [[nodiscard]] std::span<const std::uint8_t> crashed_flags() const noexcept {
+    return crashed_;
+  }
+
+  // -- View channels (safe from the parallel Look batch) ---------------------
+
+  /// The per-Look corruption stream: deterministic in (robot, look_seq).
+  [[nodiscard]] util::Prng look_rng(std::size_t robot,
+                                    std::uint64_t look_seq) const noexcept;
+
+  /// Builds the observer's noisy view of the world: every other robot is
+  /// independently dropped with P(dropout), survivors get N(0, sigma^2)
+  /// added per axis; the observer itself is copied exactly. Returns the
+  /// observer's index within the compacted view arrays.
+  std::size_t make_noisy_view(std::size_t observer, util::Prng& rng,
+                              std::span<const geom::Vec2> world,
+                              std::span<const model::Light> lights,
+                              ViewScratch& view, LookFaultStats& stats) const;
+
+  /// Misreads each visible entry's color with P(probability), per the
+  /// plan's corruption mode. The observer's own light is never corrupted
+  /// (it is internal state, not a sensor reading).
+  void corrupt_lights(util::Prng& rng, model::Snapshot& snap,
+                      LookFaultStats& stats) const;
+
+  /// Folds one Look's stats into the whole-run counters (relaxed atomics —
+  /// the sums are thread-order independent).
+  void account(const LookFaultStats& stats) const noexcept;
+
+  [[nodiscard]] FaultCounters counters() const noexcept;
+
+ private:
+  FaultPlan plan_;
+  bool crash_enabled_ = false;
+  bool light_active_ = false;
+  bool noise_active_ = false;
+  util::Prng crash_rng_{0};
+  util::Prng view_base_{0};
+  std::vector<std::uint8_t> crashed_;
+  std::size_t crash_count_ = 0;
+  std::vector<double> times_;   ///< kTimes schedule, sorted.
+  std::size_t next_time_ = 0;   ///< First unclaimed entry of times_.
+  mutable std::atomic<std::uint64_t> corrupted_{0};
+  mutable std::atomic<std::uint64_t> dropped_{0};
+  mutable std::atomic<std::uint64_t> perturbed_{0};
+};
+
+}  // namespace lumen::fault

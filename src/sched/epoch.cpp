@@ -57,7 +57,19 @@ std::size_t EpochTimeline::count_epochs(double horizon) const {
 }
 
 StreamingEpochDetector::StreamingEpochDetector(std::size_t robot_count)
-    : pending_(robot_count) {}
+    : pending_(robot_count), retired_(robot_count, 0), live_(robot_count) {}
+
+std::size_t StreamingEpochDetector::retire(std::size_t robot) {
+  if (robot >= pending_.size()) {
+    throw std::out_of_range(
+        "StreamingEpochDetector::retire: robot index out of range");
+  }
+  if (retired_[robot] != 0) return 0;
+  retired_[robot] = 1;
+  --live_;
+  pending_[robot].clear();
+  return drain();
+}
 
 std::size_t StreamingEpochDetector::add_cycle(const CycleRecord& rec) {
   if (rec.robot >= pending_.size()) {
@@ -78,19 +90,21 @@ std::size_t StreamingEpochDetector::add_cycle(const CycleRecord& rec) {
 std::size_t StreamingEpochDetector::drain() {
   std::size_t closed = 0;
   for (;;) {
-    // Same recurrence as EpochTimeline::epoch_boundaries: the epoch ends at
-    // the max over robots of the end of the robot's first cycle with start
-    // >= epoch_begin_. Buffered fronts ARE those first qualifying cycles.
+    // Same recurrence as EpochTimeline::epoch_boundaries, restricted to
+    // live robots: the epoch ends at the max over robots of the end of the
+    // robot's first cycle with start >= epoch_begin_. Buffered fronts ARE
+    // those first qualifying cycles.
     double epoch_end = epoch_begin_;
     bool complete = true;
-    for (const auto& cycles : pending_) {
-      if (cycles.empty()) {
+    for (std::size_t r = 0; r < pending_.size(); ++r) {
+      if (retired_[r] != 0) continue;
+      if (pending_[r].empty()) {
         complete = false;
         break;
       }
-      epoch_end = std::max(epoch_end, cycles.front().second);
+      epoch_end = std::max(epoch_end, pending_[r].front().second);
     }
-    if (!complete || pending_.empty()) break;
+    if (!complete || live_ == 0) break;
     boundaries_.push_back(epoch_end);
     ++closed;
     // Guard against zero-length epochs (all cycles instantaneous) looping.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -66,6 +67,15 @@ class StreamingEpochDetector {
   /// robot's cycle can close several at once).
   std::size_t add_cycle(const CycleRecord& rec);
 
+  /// Permanently removes `robot` from the epoch requirement (crash-stop
+  /// faults): from now on an epoch closes when every LIVE robot has a
+  /// qualifying cycle, so survivor progress stays measurable around dead
+  /// bodies. The retired robot's buffered cycles are discarded. Returns the
+  /// number of epochs that closed as a consequence (the dead robot may have
+  /// been the only straggler). Once every robot is retired no further
+  /// epochs close.
+  std::size_t retire(std::size_t robot);
+
   /// End times of every epoch closed so far (non-decreasing).
   [[nodiscard]] const std::vector<double>& boundaries() const noexcept {
     return boundaries_;
@@ -83,6 +93,8 @@ class StreamingEpochDetector {
   std::vector<double> boundaries_;
   // Per robot: buffered cycles with start >= epoch_begin_, chronological.
   std::vector<std::deque<std::pair<double, double>>> pending_;
+  std::vector<std::uint8_t> retired_;
+  std::size_t live_ = 0;
 };
 
 }  // namespace lumen::sched

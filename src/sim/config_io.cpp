@@ -1,5 +1,6 @@
 #include "sim/config_io.hpp"
 
+#include "fault/plan.hpp"
 #include "sched/activation.hpp"
 #include "sched/adversary.hpp"
 
@@ -31,6 +32,11 @@ util::JsonValue run_config_to_json(const RunConfig& config) {
   obj.set("record_moves", util::JsonValue::boolean(config.record_moves));
   obj.set("rigid_moves", util::JsonValue::boolean(config.rigid_moves));
   obj.set("nonrigid_min_progress", util::JsonValue::number(config.nonrigid_min_progress));
+  // Emitted only when non-default, so pre-fault config documents stay
+  // byte-identical (the round-trip guarantee is over emitted strings).
+  if (config.fault != fault::FaultPlan{}) {
+    obj.set("fault", fault::fault_plan_to_json(config.fault));
+  }
   return obj;
 }
 
@@ -107,6 +113,14 @@ std::optional<RunConfig> run_config_from_json(const util::JsonValue& json,
         ok = false;
       } else {
         config.nonrigid_min_progress = value.as_double();
+      }
+    } else if (key == "fault") {
+      std::string fault_error;
+      if (const auto plan = fault::fault_plan_from_json(value, &fault_error)) {
+        config.fault = *plan;
+      } else {
+        set_error(error, "run.fault: " + fault_error);
+        ok = false;
       }
     } else {
       set_error(error, "run config: unknown key \"" + key + "\"");

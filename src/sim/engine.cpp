@@ -26,8 +26,8 @@
 #include "sim/run.hpp"
 
 #include "sim/execution_core.hpp"
+#include "util/strings.hpp"
 
-#include <cctype>
 #include <queue>
 
 namespace lumen::sim {
@@ -42,19 +42,27 @@ std::string_view to_string(SchedulerKind k) noexcept {
 }
 
 std::optional<SchedulerKind> scheduler_from_string(std::string_view name) noexcept {
-  const auto equals_ci = [](std::string_view a, std::string_view b) {
-    if (a.size() != b.size()) return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      if (std::tolower(static_cast<unsigned char>(a[i])) !=
-          std::tolower(static_cast<unsigned char>(b[i]))) {
-        return false;
-      }
-    }
-    return true;
-  };
   for (const auto k :
        {SchedulerKind::kFsync, SchedulerKind::kSsync, SchedulerKind::kAsync}) {
-    if (equals_ci(to_string(k), name)) return k;
+    if (util::iequals(to_string(k), name)) return k;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(RunOutcome o) noexcept {
+  switch (o) {
+    case RunOutcome::kConverged: return "converged";
+    case RunOutcome::kStalled: return "stalled";
+    case RunOutcome::kCollision: return "collision";
+    case RunOutcome::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
+
+std::optional<RunOutcome> outcome_from_string(std::string_view name) noexcept {
+  for (const auto o : {RunOutcome::kConverged, RunOutcome::kStalled,
+                       RunOutcome::kCollision, RunOutcome::kBudgetExhausted}) {
+    if (util::iequals(to_string(o), name)) return o;
   }
   return std::nullopt;
 }
@@ -113,6 +121,9 @@ class AsyncDriver {
 
     const std::size_t cycle_cap = config_.max_cycles_per_robot * n;
     bool quiescent = false;
+    // Every robot may have crash-stopped at boot (kTimes schedules with
+    // t=0 entries), leaving the queue empty before the loop runs.
+    if (events_.empty()) quiescent = core_.quiescent_async();
     while (!events_.empty()) {
       const Event ev = events_.top();
       events_.pop();
@@ -146,6 +157,9 @@ class AsyncDriver {
         break;
       }
       if (core_.total_cycles() >= cycle_cap) break;
+      // If the last live robot just crashed the queue drains without a
+      // further non-Look event; the survivors' fixpoint still counts.
+      if (events_.empty()) quiescent = core_.quiescent_async();
     }
 
     core_.notify_run_end(now_);
@@ -159,6 +173,9 @@ class AsyncDriver {
   }
 
   void start_cycle(std::size_t robot, double time) {
+    // Crash-stop fires at cycle boundaries: a dead robot schedules nothing
+    // further, but its body and last light stay in the world.
+    if (core_.crash_check(robot, time)) return;
     timing_[robot] = adversary_->sample(
         robot, static_cast<std::uint64_t>(core_.total_cycles()), schedule_rng_);
     core_.begin_cycle(robot, time);
@@ -218,7 +235,19 @@ class SyncDriver {
     while (round < round_cap) {
       const double t0 = static_cast<double>(round);
       const double t1 = t0 + 1.0;
-      const auto active = policy_->activate(n, round, activation_rng_);
+      const auto activated = policy_->activate(n, round, activation_rng_);
+      // Crash-stop filter: a robot dies (or is already dead) at its
+      // activation instant and simply drops out of the round. Guarded so
+      // the zero-fault path hands the policy's vector through untouched.
+      std::span<const std::size_t> active = activated;
+      if (core_.crash_faults_enabled()) {
+        alive_.clear();
+        for (const std::size_t r : activated) {
+          if (core_.crashed(r) || core_.crash_check(r, t0)) continue;
+          alive_.push_back(r);
+        }
+        active = alive_;
+      }
       // All activated robots Look at the same pre-round configuration, so
       // the round's Look+Compute fan-out runs on config.pool when present
       // (bit-identical to the serial loop; commit order below is what the
@@ -256,6 +285,7 @@ class SyncDriver {
   util::Prng activation_rng_{0};
   util::Prng motion_rng_{0};
   std::unique_ptr<sched::ActivationPolicy> policy_;
+  std::vector<std::size_t> alive_;  ///< Crash-filtered activation scratch.
 };
 
 }  // namespace
@@ -265,9 +295,12 @@ RunResult run_simulation(const model::Algorithm& algorithm,
                          std::span<RunObserver* const> observers) {
   MoveLogRecorder move_recorder;
   HullHistoryRecorder hull_recorder(config.scheduler != SchedulerKind::kAsync);
+  FaultLogRecorder fault_recorder;
+  const bool record_faults = config.record_moves && config.fault.any();
   std::vector<RunObserver*> attached(observers.begin(), observers.end());
   if (config.record_moves) attached.push_back(&move_recorder);
   if (config.record_hull_history) attached.push_back(&hull_recorder);
+  if (record_faults) attached.push_back(&fault_recorder);
 
   RunResult result;
   if (config.scheduler == SchedulerKind::kAsync) {
@@ -281,6 +314,7 @@ RunResult run_simulation(const model::Algorithm& algorithm,
   if (config.record_hull_history) {
     result.hull_history = std::move(hull_recorder.samples());
   }
+  if (record_faults) result.fault_events = std::move(fault_recorder.events());
   return result;
 }
 

@@ -38,6 +38,9 @@ ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
   lights_seen_[light_index(model::Light::kOff)] = true;
   world_scratch_.assign(n_, geom::Vec2{});
   snapshot_.visible.reserve(n_);
+  // Fault streams are split() children of rng_, so an empty plan leaves
+  // every existing stream untouched (bit-identity with fault-free runs).
+  fault_.init(config.fault, rng_, n_);
 }
 
 util::Prng ExecutionCore::split_stream(std::string_view tag) const noexcept {
@@ -61,11 +64,75 @@ void ExecutionCore::begin_cycle(std::size_t robot, double time) {
   in_wait_[robot] = 1;
 }
 
+bool ExecutionCore::crash_check(std::size_t robot, double time) {
+  if (!fault_.try_crash(robot, time)) return false;
+  fault::FaultEvent event;
+  event.channel = fault::FaultChannel::kCrash;
+  event.robot = robot;
+  event.time = time;
+  event.position = positions_[robot];
+  for (RunObserver* o : observers_) o->on_fault(event, world(time));
+  // The dead robot drops out of the epoch requirement: later epochs measure
+  // survivor progress. Retiring the straggler can close pent-up epochs.
+  const std::size_t closed = epochs_.retire(robot);
+  for (std::size_t k = 0; k < closed; ++k) {
+    const std::size_t index = epochs_emitted_++;
+    for (RunObserver* o : observers_) {
+      o->on_epoch(index, epochs_.boundaries()[index], world(time));
+    }
+  }
+  return true;
+}
+
+void ExecutionCore::notify_look_faults(std::size_t robot, double time,
+                                       const fault::LookFaultStats& stats) {
+  if (!stats.any()) return;
+  if (stats.corrupted != 0) {
+    fault::FaultEvent event;
+    event.channel = fault::FaultChannel::kLight;
+    event.robot = robot;
+    event.time = time;
+    event.position = world_scratch_[robot];
+    event.corrupted_reads = stats.corrupted;
+    for (RunObserver* o : observers_) o->on_fault(event, world(time));
+  }
+  if (stats.dropped + stats.perturbed != 0) {
+    fault::FaultEvent event;
+    event.channel = fault::FaultChannel::kNoise;
+    event.robot = robot;
+    event.time = time;
+    event.position = world_scratch_[robot];
+    event.dropped = stats.dropped;
+    event.perturbed = stats.perturbed;
+    for (RunObserver* o : observers_) o->on_fault(event, world(time));
+  }
+}
+
 void ExecutionCore::compute_pending(std::size_t robot,
                                     const model::LocalFrame& frame,
+                                    std::uint64_t look_seq,
                                     model::SnapshotScratch& scratch,
-                                    model::Snapshot& snap) {
-  model::build_snapshot(world_scratch_, lights_, robot, frame, scratch, snap);
+                                    model::Snapshot& snap,
+                                    fault::ViewScratch& view,
+                                    fault::LookFaultStats& stats) {
+  if (!fault_.view_active()) {
+    model::build_snapshot(world_scratch_, lights_, robot, frame, scratch, snap);
+  } else {
+    // Corruption draws are a pure function of (seed, robot, look_seq), so
+    // this stays safe and bit-identical under the parallel SYNC batch.
+    util::Prng rng = fault_.look_rng(robot, look_seq);
+    if (fault_.noise_active()) {
+      const std::size_t observer = fault_.make_noisy_view(
+          robot, rng, world_scratch_, lights_, view, stats);
+      model::build_snapshot(view.positions, view.lights, observer, frame,
+                            scratch, snap);
+    } else {
+      model::build_snapshot(world_scratch_, lights_, robot, frame, scratch,
+                            snap);
+    }
+    fault_.corrupt_lights(rng, snap, stats);
+    fault_.account(stats);
+  }
   // Compute is deterministic on the snapshot, so evaluating it now and
   // committing later is equivalent to evaluating at commit time.
   const model::Action action = algo_.compute(snap);
@@ -79,12 +146,16 @@ void ExecutionCore::compute_pending(std::size_t robot,
 void ExecutionCore::look(std::size_t robot, double time) {
   in_wait_[robot] = 0;
   look_time_[robot] = time;
+  const std::uint64_t seq = look_seq_++;
   // World positions at this instant (movers interpolated).
   for (std::size_t j = 0; j < n_; ++j) {
     world_scratch_[j] = position_at(j, time);
   }
   const model::LocalFrame frame = make_frame(robot, world_scratch_[robot]);
-  compute_pending(robot, frame, snapshot_scratch_, snapshot_);
+  fault::LookFaultStats stats;
+  compute_pending(robot, frame, seq, snapshot_scratch_, snapshot_,
+                  view_scratch_, stats);
+  notify_look_faults(robot, time, stats);
   for (RunObserver* o : observers_) o->on_look(robot, time, world(time));
 }
 
@@ -103,24 +174,31 @@ void ExecutionCore::look_batch(std::span<const std::size_t> robots, double time)
   }
   frame_batch_.clear();
   frame_batch_.reserve(robots.size());
+  seq_batch_.clear();
+  seq_batch_.reserve(robots.size());
+  batch_stats_.assign(robots.size(), fault::LookFaultStats{});
   for (const std::size_t r : robots) {
     in_wait_[r] = 0;
     look_time_[r] = time;
     frame_batch_.push_back(make_frame(r, world_scratch_[r]));
+    seq_batch_.push_back(look_seq_++);
   }
   // Parallel Look + Compute: per-slot scratch, per-robot pending slots.
-  // Thread interleaving cannot affect the result — Compute is pure and
-  // every write lands in the robot's own slot.
+  // Thread interleaving cannot affect the result — Compute is pure, fault
+  // draws are keyed by the pre-assigned look sequence, and every write
+  // lands in the robot's own slot.
   look_slots_.resize(pool->slot_count());
   pool->parallel_for_slots(robots.size(), [&](std::size_t slot, std::size_t k) {
     LookSlot& ls = look_slots_[slot];
-    compute_pending(robots[k], frame_batch_[k], ls.scratch, ls.snapshot);
+    compute_pending(robots[k], frame_batch_[k], seq_batch_[k], ls.scratch,
+                    ls.snapshot, ls.view, batch_stats_[k]);
   });
   // Observers fire serially afterwards, in `robots` order: nothing a Look
   // mutates is visible through WorldView, so the delivered stream is
   // byte-identical to the serial loop's.
-  for (const std::size_t r : robots) {
-    for (RunObserver* o : observers_) o->on_look(r, time, world(time));
+  for (std::size_t k = 0; k < robots.size(); ++k) {
+    notify_look_faults(robots[k], time, batch_stats_[k]);
+    for (RunObserver* o : observers_) o->on_look(robots[k], time, world(time));
   }
 }
 
@@ -222,6 +300,9 @@ void ExecutionCore::record_cycle(std::size_t robot, double end) {
 
 bool ExecutionCore::quiescent_async() const noexcept {
   for (std::size_t i = 0; i < n_; ++i) {
+    // Crashed robots execute no further cycles: quiescence is over the
+    // survivors (a fully-crashed swarm is trivially quiescent).
+    if (fault_.crashed(i)) continue;
     if (moving_[i] != 0) return false;
     if (in_wait_[i] == 0 && pending_null_[i] == 0) return false;
     if (last_null_look_[i] < last_change_) return false;
@@ -231,6 +312,7 @@ bool ExecutionCore::quiescent_async() const noexcept {
 
 bool ExecutionCore::quiescent_sync() const noexcept {
   for (std::size_t i = 0; i < n_; ++i) {
+    if (fault_.crashed(i)) continue;
     if (last_null_look_[i] < last_change_) return false;
   }
   return true;
@@ -287,6 +369,12 @@ void ExecutionCore::finalize(RunResult& result, bool converged,
   // which quiescence became detectable; count one extra epoch so the final
   // observing cycle is included, matching the theoretical measure.
   result.epochs = n_ == 0 ? 0 : epochs_.count_epochs(last_change_) + 1;
+  result.outcome = !converged ? RunOutcome::kBudgetExhausted
+                   : fault_.crash_count() > 0 ? RunOutcome::kStalled
+                                              : RunOutcome::kConverged;
+  result.faults = fault_.counters();
+  const auto crashed = fault_.crashed_flags();
+  result.crashed.assign(crashed.begin(), crashed.end());
 }
 
 }  // namespace lumen::sim

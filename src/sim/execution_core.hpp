@@ -21,6 +21,7 @@
 // to the pre-refactor engines; tests/sim_golden_test.cpp pins that.
 #pragma once
 
+#include "fault/state.hpp"
 #include "model/frame.hpp"
 #include "model/snapshot.hpp"
 #include "sched/epoch.hpp"
@@ -60,6 +61,22 @@ class ExecutionCore {
 
   /// Marks the start of robot's next LCM cycle at `time` (Wait phase).
   void begin_cycle(std::size_t robot, double time);
+
+  /// Crash-stop check at a cycle start (serial driver code only): decides
+  /// via the fault plan whether `robot` dies at `time`, fires on_fault and
+  /// returns true if it did. The driver must then never schedule the robot
+  /// again — its body keeps obstructing and its last light stays visible.
+  bool crash_check(std::size_t robot, double time);
+
+  [[nodiscard]] bool crash_faults_enabled() const noexcept {
+    return fault_.crash_enabled();
+  }
+  [[nodiscard]] bool crashed(std::size_t robot) const noexcept {
+    return fault_.crashed(robot);
+  }
+  [[nodiscard]] const fault::FaultState& faults() const noexcept {
+    return fault_;
+  }
 
   /// Look + Compute at `time`: snapshots the instantaneous world (movers
   /// interpolated), runs the algorithm and parks the world-frame action as
@@ -129,11 +146,20 @@ class ExecutionCore {
   [[nodiscard]] model::LocalFrame make_frame(std::size_t robot, geom::Vec2 origin);
 
   /// The pure per-robot slice of a Look: snapshot world_scratch_ through
-  /// `frame`, run Compute, park the world-frame action in robot's pending
-  /// slot. Reads only shared immutable state + the given scratch, so
-  /// look_batch may run it concurrently for distinct robots.
+  /// `frame` (possibly through the fault plan's corrupted view, whose draws
+  /// depend only on (robot, look_seq)), run Compute, park the world-frame
+  /// action in robot's pending slot. Reads only shared immutable state +
+  /// the given scratch, so look_batch may run it concurrently for distinct
+  /// robots.
   void compute_pending(std::size_t robot, const model::LocalFrame& frame,
-                       model::SnapshotScratch& scratch, model::Snapshot& snap);
+                       std::uint64_t look_seq, model::SnapshotScratch& scratch,
+                       model::Snapshot& snap, fault::ViewScratch& view,
+                       fault::LookFaultStats& stats);
+
+  /// Fires the per-Look fault events (at most one per channel) for the
+  /// stats gathered by compute_pending; serial, right before on_look.
+  void notify_look_faults(std::size_t robot, double time,
+                          const fault::LookFaultStats& stats);
 
   void notify_commit(const CommitEvent& event, double time);
 
@@ -170,20 +196,31 @@ class ExecutionCore {
   std::vector<FrameParams> frame_params_;
   std::array<bool, model::kLightCount> lights_seen_{};
 
+  // Fault injection state; inert (and stream-invisible) for empty plans.
+  fault::FaultState fault_;
+  // Serial Look sequence number: assigned in driver order, it keys each
+  // Look's corruption stream so the parallel batch draws are independent of
+  // thread interleaving.
+  std::uint64_t look_seq_ = 0;
+
   // Look-path scratch (reused; no steady-state allocation).
   std::vector<geom::Vec2> world_scratch_;
   model::SnapshotScratch snapshot_scratch_;
   model::Snapshot snapshot_;
+  fault::ViewScratch view_scratch_;
 
   // look_batch scratch: one snapshot workspace per pool slot (tasks with
   // the same slot never run concurrently) plus the round's pre-drawn
-  // frames, aligned with the `robots` argument.
+  // frames and look sequence numbers, aligned with the `robots` argument.
   struct LookSlot {
     model::SnapshotScratch scratch;
     model::Snapshot snapshot;
+    fault::ViewScratch view;
   };
   std::vector<LookSlot> look_slots_;
   std::vector<model::LocalFrame> frame_batch_;
+  std::vector<std::uint64_t> seq_batch_;
+  std::vector<fault::LookFaultStats> batch_stats_;
 };
 
 }  // namespace lumen::sim

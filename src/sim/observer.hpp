@@ -21,6 +21,7 @@
 //    observer; the engine never reorders hooks across observers.
 #pragma once
 
+#include "fault/events.hpp"
 #include "geom/vec2.hpp"
 #include "model/algorithm.hpp"
 #include "model/light.hpp"
@@ -93,6 +94,14 @@ class RunObserver {
     (void)move, (void)world;
   }
 
+  /// A fault was injected: a crash-stop (fires before the robot's cycle
+  /// would have started), or one Look's light/noise corruption summary
+  /// (fires after Compute, before that robot's on_look). Never fires on a
+  /// fault-free run.
+  virtual void on_fault(const fault::FaultEvent& event, const WorldView& world) {
+    (void)event, (void)world;
+  }
+
   /// SYNC only: a round was fully applied. `time` is the round's end.
   virtual void on_round(std::uint64_t round, double time, const WorldView& world) {
     (void)round, (void)time, (void)world;
@@ -126,6 +135,23 @@ class MoveLogRecorder final : public RunObserver {
 
  private:
   std::vector<MoveSegment> moves_;
+};
+
+/// Retains every injected fault event — attached by run_simulation when the
+/// run both records moves (single-run tracing) and has an active fault
+/// plan, mirroring MoveLogRecorder's opt-in shape.
+class FaultLogRecorder final : public RunObserver {
+ public:
+  void on_fault(const fault::FaultEvent& event, const WorldView&) override {
+    events_.push_back(event);
+  }
+
+  [[nodiscard]] std::vector<fault::FaultEvent>& events() noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<fault::FaultEvent> events_;
 };
 
 /// Corner census over time (claim C6's doubling experiment): samples the

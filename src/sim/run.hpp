@@ -6,6 +6,8 @@
 // accounting), the lights audit and the convergence status.
 #pragma once
 
+#include "fault/events.hpp"
+#include "fault/plan.hpp"
 #include "geom/vec2.hpp"
 #include "model/algorithm.hpp"
 #include "model/light.hpp"
@@ -34,6 +36,24 @@ enum class SchedulerKind { kFsync, kSsync, kAsync };
 /// Inverse of to_string. Case-insensitive ("async" == "ASYNC"), nullopt for
 /// unknown names.
 [[nodiscard]] std::optional<SchedulerKind> scheduler_from_string(
+    std::string_view name) noexcept;
+
+/// How a run ended, beyond the raw `converged` bit:
+///  * kConverged — quiescent with no faults injected into the trajectory
+///    (light/noise channels may have fired; the swarm still reached a
+///    fixpoint).
+///  * kStalled — quiescent, but robots crash-stopped along the way: the
+///    survivors reached a fixpoint of the CRASHED world, which is not the
+///    paper's Complete Visibility postcondition.
+///  * kCollision — assigned post-hoc by the campaign layer when the audit
+///    finds a position collision (the engine itself never stops on one).
+///  * kBudgetExhausted — the cycle/round cap fired before quiescence.
+enum class RunOutcome { kConverged, kStalled, kCollision, kBudgetExhausted };
+
+[[nodiscard]] std::string_view to_string(RunOutcome o) noexcept;
+
+/// Case-insensitive inverse ("stalled" == "STALLED"); nullopt for unknown.
+[[nodiscard]] std::optional<RunOutcome> outcome_from_string(
     std::string_view name) noexcept;
 
 struct RunConfig {
@@ -72,6 +92,11 @@ struct RunConfig {
   /// intra-run batch to parallelize (DESIGN.md §10). Not serialized by
   /// config_io (a pool is a process-local resource, not configuration).
   util::ThreadPool* pool = nullptr;
+  /// Fault injection plan (crash-stop / light corruption / sensor noise;
+  /// see fault/plan.hpp). The default (empty) plan is bit-identical to the
+  /// pre-fault engine on every scheduler and pool size. Serialized by
+  /// config_io only when non-default.
+  fault::FaultPlan fault;
 };
 
 struct RunResult {
@@ -91,6 +116,17 @@ struct RunResult {
   std::vector<HullSample> hull_history;
   /// lights_seen[i] is true iff color kAllLights[i] was ever displayed.
   std::array<bool, model::kLightCount> lights_seen{};
+  /// Outcome classification (converged / stalled / budget-exhausted from
+  /// the engine; the campaign layer upgrades to kCollision on audit hits).
+  RunOutcome outcome = RunOutcome::kBudgetExhausted;
+  /// Whole-run fault totals per channel; all zero for a fault-free run.
+  fault::FaultCounters faults;
+  /// crashed[i] != 0 iff robot i crash-stopped during the run (size N).
+  std::vector<std::uint8_t> crashed;
+  /// Injected fault events — populated only when RunConfig::record_moves is
+  /// set AND the plan is active (single-run tracing; the SVG renderer's
+  /// annotations feed on this).
+  std::vector<fault::FaultEvent> fault_events;
 
   [[nodiscard]] std::size_t distinct_lights_used() const noexcept {
     std::size_t c = 0;

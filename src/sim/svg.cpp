@@ -25,6 +25,16 @@ const char* light_color(model::Light l) noexcept {
   return "#000000";
 }
 
+const char* fault_channel_color(fault::FaultChannel c) noexcept {
+  switch (c) {
+    case fault::FaultChannel::kCrash: return "#d93025";
+    case fault::FaultChannel::kLight: return "#fbbc04";
+    case fault::FaultChannel::kNoise: return "#669df6";
+    case fault::FaultChannel::kNone: break;
+  }
+  return "#000000";
+}
+
 }  // namespace
 
 std::string render_svg(const RunResult& run, const SvgOptions& options) {
@@ -81,12 +91,43 @@ std::string render_svg(const RunResult& run, const SvgOptions& options) {
           << "' r='3' fill='none' stroke='#bdc1c6'/>\n";
     }
   }
+  if (options.draw_faults && !run.fault_events.empty()) {
+    // Per-Look corruption annotations: a small hollow ring, colored by
+    // channel, at the affected robot's true position at the Look. Capped so
+    // heavily faulted long runs stay inspectable.
+    constexpr std::size_t kMaxFaultMarks = 200;
+    std::size_t marks = 0;
+    for (const auto& ev : run.fault_events) {
+      if (ev.channel == fault::FaultChannel::kCrash) continue;
+      if (marks >= kMaxFaultMarks) break;
+      const geom::Vec2 q = map(ev.position);
+      svg << "<circle cx='" << q.x << "' cy='" << q.y
+          << "' r='6' fill='none' stroke='" << fault_channel_color(ev.channel)
+          << "' stroke-width='1' opacity='0.6'/>\n";
+      ++marks;
+    }
+  }
   for (std::size_t i = 0; i < run.final_positions.size(); ++i) {
     const geom::Vec2 q = map(run.final_positions[i]);
     const model::Light l =
         i < run.final_lights.size() ? run.final_lights[i] : model::Light::kOff;
     svg << "<circle cx='" << q.x << "' cy='" << q.y << "' r='4' fill='"
         << light_color(l) << "'/>\n";
+    if (options.draw_faults && i < run.crashed.size() && run.crashed[i] != 0) {
+      // Crash-stop marker: a red X over the dead robot's final body.
+      svg << "<path d='M " << q.x - 5 << ' ' << q.y - 5 << " L " << q.x + 5
+          << ' ' << q.y + 5 << " M " << q.x - 5 << ' ' << q.y + 5 << " L "
+          << q.x + 5 << ' ' << q.y - 5
+          << "' stroke='#d93025' stroke-width='2' fill='none'/>\n";
+    }
+  }
+  if (options.draw_faults && run.faults.any()) {
+    svg << "<text x='" << options.margin << "' y='" << options.height - 10
+        << "' font-family='monospace' font-size='12' fill='#5f6368'>faults: "
+        << run.faults.crashes << " crashes, " << run.faults.corrupted_reads
+        << " corrupted reads, " << run.faults.dropped_observations
+        << " dropped, " << run.faults.perturbed_observations
+        << " perturbed (outcome: " << to_string(run.outcome) << ")</text>\n";
   }
   svg << "</svg>\n";
   return svg.str();

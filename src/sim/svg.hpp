@@ -3,7 +3,9 @@
 // Renders a recorded run as a static SVG: initial positions (hollow), final
 // positions (filled, colored by final light), motion paths, and the final
 // hull outline. Used by the examples to produce inspectable artifacts of
-// single executions.
+// single executions. Runs with injected faults additionally get crash
+// markers, per-Look fault annotations and a summary line; a fault-free run
+// renders byte-identically to the pre-fault renderer.
 #pragma once
 
 #include "sim/run.hpp"
@@ -19,6 +21,9 @@ struct SvgOptions {
   bool draw_paths = true;
   bool draw_hull = true;
   bool draw_initial = true;
+  /// Crash markers, corrupted-Look annotations and the fault summary line.
+  /// Emits nothing for runs without fault data regardless of this flag.
+  bool draw_faults = true;
 };
 
 /// Renders the run as a self-contained SVG document.

@@ -1,0 +1,25 @@
+// lumen_util: small string helpers shared by the enum parsers.
+//
+// Every *_from_string parser in the repo (scheduler, run outcome, fault
+// enums) accepts names case-insensitively; iequals is the one comparison
+// they all share so the convention cannot drift.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace lumen::util {
+
+/// ASCII case-insensitive equality.
+[[nodiscard]] inline bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lumen::util

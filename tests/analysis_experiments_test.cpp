@@ -20,10 +20,13 @@ namespace {
 
 TEST(Registry, ListsAllPaperExperiments) {
   const auto& experiments = ExperimentRegistry::instance().experiments();
-  ASSERT_EQ(experiments.size(), 7u);
-  const char* names[] = {"time-vs-n", "convergence", "colors",  "collisions",
-                         "doubling",  "summary",     "ablation"};
-  const char* ids[] = {"E1", "E2", "E3", "E4", "E5", "E6", "E8"};
+  ASSERT_EQ(experiments.size(), 10u);
+  const char* names[] = {"time-vs-n", "convergence", "colors",
+                         "collisions", "doubling",   "summary",
+                         "ablation",   "crash-tolerance",
+                         "light-corruption", "sensor-noise"};
+  const char* ids[] = {"E1", "E2", "E3", "E4", "E5",
+                       "E6", "E8", "E9", "E10", "E11"};
   for (std::size_t i = 0; i < experiments.size(); ++i) {
     EXPECT_EQ(experiments[i].name, names[i]);
     EXPECT_EQ(experiments[i].id, ids[i]);

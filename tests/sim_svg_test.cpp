@@ -73,6 +73,52 @@ TEST(Svg, SaveWritesFile) {
   EXPECT_FALSE(save_svg(run, "/nonexistent-dir-xyz/x.svg"));
 }
 
+RunResult faulty_run() {
+  const auto algo = core::make_algorithm("async-log");
+  const auto initial = gen::generate(gen::ConfigFamily::kUniformDisk, 12, 3);
+  RunConfig config;
+  config.seed = 3;
+  config.record_moves = true;  // Fault events ride the tracing flag.
+  config.fault.crash.count = 1;
+  config.fault.crash.schedule = fault::CrashScheduleKind::kTimes;
+  config.fault.crash.times = {0.0};
+  config.fault.light.probability = 0.05;
+  return run_simulation(*algo, initial, config);
+}
+
+TEST(Svg, FaultyRunGetsCrashMarkersAndAnnotations) {
+  const auto run = faulty_run();
+  ASSERT_EQ(run.faults.crashes, 1u);
+  const std::string svg = render_svg(run);
+  // The crash marker is a red X path over the dead robot's final circle.
+  EXPECT_NE(svg.find("<path"), std::string::npos);
+  EXPECT_NE(svg.find("#d93025"), std::string::npos);
+  // The summary line spells out the per-channel totals and the outcome.
+  EXPECT_NE(svg.find("faults: 1 crashes"), std::string::npos);
+  EXPECT_NE(svg.find("outcome: stalled"), std::string::npos);
+  // Corrupted Looks leave hollow channel-colored rings.
+  if (run.faults.corrupted_reads > 0) {
+    EXPECT_NE(svg.find("#fbbc04"), std::string::npos);
+  }
+  // Opting out removes every fault layer again.
+  SvgOptions options;
+  options.draw_faults = false;
+  const std::string plain = render_svg(run, options);
+  EXPECT_EQ(plain.find("<path"), std::string::npos);
+  EXPECT_EQ(plain.find("faults:"), std::string::npos);
+}
+
+TEST(Svg, FaultFreeRunRendersIdenticallyWithFaultLayerEnabled) {
+  // draw_faults defaults to true but must emit nothing without fault data,
+  // keeping historical output byte-identical.
+  const auto run = small_run();
+  ASSERT_FALSE(run.faults.any());
+  SvgOptions options;
+  options.draw_faults = false;
+  EXPECT_EQ(render_svg(run), render_svg(run, options));
+  EXPECT_EQ(render_svg(run).find("<path"), std::string::npos);
+}
+
 TEST(Svg, CoordinatesStayInViewport) {
   const auto run = small_run();
   SvgOptions options;
