@@ -11,21 +11,33 @@
 // google-benchmark owns its harness.
 //
 // Exit codes: 0 all checks passed (or --smoke), 1 a claim check failed,
-// 2 usage/spec error.
+// 2 usage/spec error, 3 interrupted (SIGINT/SIGTERM drained gracefully —
+// in-flight cells finished, journal and partial report flushed).
 
 #include "analysis/experiments.hpp"
+#include "analysis/journal.hpp"
 #include "analysis/reporter.hpp"
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace {
 
 using namespace lumen;
+
+// Graceful shutdown: the handlers only set this flag; cmd_run threads it
+// into every campaign as the cooperative stop (cells in flight drain, the
+// journal and a partial report are still written) and exits with code 3.
+std::atomic<bool> g_stop{false};
+
+void request_stop(int /*signal*/) { g_stop.store(true); }
 
 int usage(std::ostream& os, int code) {
   os << "usage: lumen-bench <command> [args]\n"
@@ -49,7 +61,19 @@ int usage(std::ostream& os, int code) {
         "  --out=FILE         write the report to FILE instead of stdout\n"
         "  --save-spec=FILE   write the resolved spec JSON and continue\n"
         "  --smoke            shrink the spec to a seconds-long sanity run;\n"
-        "                     claim checks are reported but not enforced\n";
+        "                     claim checks are reported but not enforced\n"
+        "  --journal=FILE     append one durable JSONL record per finished\n"
+        "                     campaign cell (checkpoint for --resume)\n"
+        "  --resume=FILE      skip cells already recorded in FILE and merge\n"
+        "                     their metrics back (byte-identical to an\n"
+        "                     uninterrupted run); implies --journal=FILE\n"
+        "  --deadline-ms=T    per-run wall-clock watchdog (0 = off)\n"
+        "  --max-attempts=K   retries per hung/throwing cell (default 1)\n"
+        "  --retry-backoff-ms=B   base backoff between a cell's attempts\n"
+        "\n"
+        "SIGINT/SIGTERM drain in-flight cells, flush the journal and the\n"
+        "partial report, and exit with code 3; re-run with --resume to pick\n"
+        "up where the interrupted run left off.\n";
   return code;
 }
 
@@ -149,6 +173,28 @@ bool apply_overrides(const util::Cli& cli, analysis::ScenarioSpec& spec,
     spec.shard_index = static_cast<std::size_t>((*index)[0]);
     spec.shard_count = static_cast<std::size_t>((*count)[0]);
   }
+  if (cli.is_set("deadline-ms")) {
+    if (cli.get_int("deadline-ms") < 0) {
+      error = "--deadline-ms must be non-negative";
+      return false;
+    }
+    spec.run.deadline_ms = static_cast<std::uint64_t>(cli.get_int("deadline-ms"));
+  }
+  if (cli.is_set("max-attempts")) {
+    if (cli.get_int("max-attempts") <= 0) {
+      error = "--max-attempts must be positive";
+      return false;
+    }
+    spec.max_attempts = static_cast<std::size_t>(cli.get_int("max-attempts"));
+  }
+  if (cli.is_set("retry-backoff-ms")) {
+    if (cli.get_int("retry-backoff-ms") < 0) {
+      error = "--retry-backoff-ms must be non-negative";
+      return false;
+    }
+    spec.retry_backoff_ms =
+        static_cast<std::uint64_t>(cli.get_int("retry-backoff-ms"));
+  }
   return true;
 }
 
@@ -166,6 +212,11 @@ int cmd_run(const std::vector<std::string>& raw_args) {
   cli.flag("out", "write the report to this file instead of stdout");
   cli.flag("save-spec", "write the resolved spec JSON to this file");
   cli.flag("smoke", "tiny sanity run; checks reported, not enforced");
+  cli.flag("journal", "append a durable record per finished campaign cell");
+  cli.flag("resume", "skip cells journaled in this file; implies --journal");
+  cli.flag("deadline-ms", "per-run wall-clock watchdog, 0 = off");
+  cli.flag("max-attempts", "retries per hung/throwing cell");
+  cli.flag("retry-backoff-ms", "base backoff between a cell's attempts");
 
   std::vector<const char*> argv = {"lumen-bench run"};
   for (const auto& a : raw_args) argv.push_back(a.c_str());
@@ -212,8 +263,47 @@ int cmd_run(const std::vector<std::string>& raw_args) {
   }
   std::ostream& out = cli.is_set("out") ? out_file : std::cout;
 
+  // Resilience plumbing: resume snapshot, checkpoint journal (--resume
+  // appends to the same file it resumes from unless --journal overrides),
+  // and the signal-driven cooperative stop.
+  analysis::JournalSnapshot resume_snapshot;
+  bool resuming = false;
+  if (cli.is_set("resume")) {
+    auto loaded = analysis::load_journal(cli.get("resume"));
+    if (!loaded.snapshot) {
+      std::cerr << "error: --resume: " << loaded.error << "\n";
+      return 2;
+    }
+    resume_snapshot = std::move(*loaded.snapshot);
+    resuming = true;
+    std::cerr << "resume: " << resume_snapshot.cell_count()
+              << " journaled cell(s) loaded from " << cli.get("resume");
+    if (loaded.dropped_partial_lines > 0) {
+      std::cerr << " (dropped a torn final record)";
+    }
+    std::cerr << "\n";
+  }
+  std::unique_ptr<analysis::CampaignJournal> journal;
+  const std::string journal_path = cli.is_set("journal") ? cli.get("journal")
+                                   : cli.is_set("resume") ? cli.get("resume")
+                                                          : std::string();
+  if (!journal_path.empty()) {
+    journal = std::make_unique<analysis::CampaignJournal>(journal_path);
+    if (!journal->ok()) {
+      std::cerr << "error: cannot open --journal file " << journal_path << "\n";
+      return 2;
+    }
+  }
+  analysis::ExperimentContext ctx;
+  ctx.control.journal = journal.get();
+  ctx.control.resume = resuming ? &resume_snapshot : nullptr;
+  ctx.control.stop = &g_stop;
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+
   const bool smoke = cli.get_bool("smoke");
   bool all_passed = true;
+  bool interrupted = false;
   bool first = true;
   for (const auto* experiment : selected) {
     analysis::ScenarioSpec spec = experiment->defaults;
@@ -238,11 +328,24 @@ int cmd_run(const std::vector<std::string>& raw_args) {
       return 2;
     }
 
-    const auto result = experiment->run(spec, nullptr);
+    const auto result = experiment->run(spec, ctx);
     if (!first) out << "\n";
     first = false;
     reporter->report(result, out);
+    out.flush();
     all_passed = all_passed && result.passed();
+    if (g_stop.load()) {
+      interrupted = true;
+      break;
+    }
+  }
+  if (interrupted) {
+    std::cerr << "interrupted: in-flight cells drained"
+              << (journal != nullptr ? ", journal flushed" : "")
+              << "; partial report written. Re-run with --resume="
+              << (journal != nullptr ? journal->path() : "<journal>")
+              << " to continue.\n";
+    return 3;
   }
   // Smoke specs are far below the sizes the claim thresholds were
   // calibrated for (E1 needs >= 4 sweep points), so only report verdicts.

@@ -1,12 +1,76 @@
 #include "analysis/campaign.hpp"
 
+#include "analysis/journal.hpp"
 #include "core/registry.hpp"
 #include "sim/monitors.hpp"
 #include "sim/streaming_collision.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <thread>
 
 namespace lumen::analysis {
+
+std::string_view to_string(CampaignErrorKind k) noexcept {
+  switch (k) {
+    case CampaignErrorKind::kSpecInvalid: return "spec-invalid";
+    case CampaignErrorKind::kDeadline: return "deadline";
+    case CampaignErrorKind::kException: return "exception";
+    case CampaignErrorKind::kCollisionAbort: return "collision-abort";
+  }
+  return "?";
+}
+
+std::optional<CampaignErrorKind> campaign_error_kind_from_string(
+    std::string_view name) noexcept {
+  for (const auto k :
+       {CampaignErrorKind::kSpecInvalid, CampaignErrorKind::kDeadline,
+        CampaignErrorKind::kException, CampaignErrorKind::kCollisionAbort}) {
+    if (to_string(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+std::string validate_campaign_spec(const CampaignSpec& spec) {
+  const auto names = core::algorithm_names();
+  if (std::find(names.begin(), names.end(), spec.algorithm) == names.end()) {
+    return "algorithm: unknown algorithm \"" + spec.algorithm + "\"";
+  }
+  if (spec.n < 1) return "n must be >= 1";
+  if (spec.runs < 1) return "runs must be >= 1";
+  if (!(spec.min_separation > 0.0)) return "min_separation must be > 0";
+  if (!(spec.collision_tolerance >= 0.0)) {
+    return "collision_tolerance must be >= 0";
+  }
+  if (spec.shard_count < 1) return "shard_count must be >= 1";
+  if (spec.shard_index >= spec.shard_count) {
+    return "shard_index must be < shard_count";
+  }
+  if (spec.max_attempts < 1) return "max_attempts must be >= 1";
+  if (spec.run.max_cycles_per_robot < 1) {
+    return "run.max_cycles_per_robot must be >= 1";
+  }
+  if (!(spec.run.nonrigid_min_progress >= 0.0)) {
+    return "run.nonrigid_min_progress must be >= 0";
+  }
+  const fault::FaultPlan& fault = spec.run.fault;
+  if (!(fault.crash.rate >= 0.0 && fault.crash.rate <= 1.0)) {
+    return "run.fault.crash.rate must be in [0, 1]";
+  }
+  for (const double t : fault.crash.times) {
+    if (!(t >= 0.0)) return "run.fault.crash.times must be non-negative";
+  }
+  if (!(fault.light.probability >= 0.0 && fault.light.probability <= 1.0)) {
+    return "run.fault.light.probability must be in [0, 1]";
+  }
+  if (!(fault.noise.sigma >= 0.0)) return "run.fault.noise.sigma must be >= 0";
+  if (!(fault.noise.dropout >= 0.0 && fault.noise.dropout <= 1.0)) {
+    return "run.fault.noise.dropout must be in [0, 1]";
+  }
+  return "";
+}
 
 std::size_t CampaignResult::converged_count() const noexcept {
   return static_cast<std::size_t>(
@@ -68,22 +132,81 @@ util::Summary CampaignResult::moves() const {
   return util::summarize(xs);
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
+namespace {
+
+/// The per-cell slot run_campaign assembles the result from. Exactly one of
+/// metrics / error is set for a cell that ran (or resumed); neither is set
+/// when the stop flag skipped it.
+struct Cell {
+  std::optional<RunMetrics> metrics;
+  std::optional<CampaignError> error;
+  bool resumed = false;
+  bool skipped = false;
+};
+
+constexpr std::uint64_t kMaxBackoffMs = 5000;
+
+std::uint64_t backoff_ms(std::uint64_t base, std::size_t failed_attempts) {
+  if (base == 0) return 0;
+  std::uint64_t delay = base;
+  for (std::size_t i = 1; i < failed_attempts && delay < kMaxBackoffMs; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, kMaxBackoffMs);
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
+                            const CampaignControl& control) {
   CampaignResult result;
   result.spec = spec;
-  const std::size_t shards = spec.shard_count == 0 ? 1 : spec.shard_count;
+  // Invalid specs become a single structured error instead of a throw or a
+  // crash deep inside a worker: the campaign "ran" with zero cells, and the
+  // caller (experiment body, lumen-bench) reports the reason. Not journaled
+  // — validation is pure, so a resumed process recomputes the same verdict.
+  if (std::string problem = validate_campaign_spec(spec); !problem.empty()) {
+    result.errors.push_back(CampaignError{CampaignErrorKind::kSpecInvalid, 0, 0,
+                                          std::move(problem)});
+    return result;
+  }
+  const std::size_t shards = spec.shard_count;
   // This shard's run indices, in ascending seed order.
   std::vector<std::size_t> indices;
   indices.reserve(spec.runs / shards + 1);
   for (std::size_t i = spec.shard_index % shards; i < spec.runs; i += shards) {
     indices.push_back(i);
   }
-  result.runs.resize(indices.size());
+  std::vector<Cell> cells(indices.size());
   const auto algorithm = core::make_algorithm(spec.algorithm);
   util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
 
-  const auto run_one = [&](std::size_t slot) {
-    const std::uint64_t seed = spec.seed_base + indices[slot];
+  // Cells already journaled by an interrupted process are merged back as-is
+  // (each is deterministic in its seed, so the merged result is bit-identical
+  // to the uninterrupted campaign) and never re-journaled: the resume
+  // snapshot came from the very file any attached journal keeps appending to.
+  const std::string key = (control.journal != nullptr || control.resume != nullptr)
+                              ? campaign_key(spec)
+                              : std::string();
+  if (control.resume != nullptr) {
+    for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+      const std::uint64_t seed = spec.seed_base + indices[slot];
+      if (const JournalCell* cell = control.resume->find(key, seed)) {
+        cells[slot].metrics = cell->metrics;
+        cells[slot].error = cell->error;
+        cells[slot].resumed = true;
+      }
+    }
+  }
+
+  const auto stop_requested = [&control]() noexcept {
+    return control.stop != nullptr &&
+           control.stop->load(std::memory_order_relaxed);
+  };
+
+  // One attempt of one cell: generate, run, reduce to metrics — or classify
+  // the failure. Returns metrics on success, an error otherwise.
+  const auto attempt_cell = [&](std::uint64_t seed) -> std::pair<std::optional<RunMetrics>, CampaignError> {
     const auto initial =
         gen::generate(spec.family, spec.n, seed, spec.min_separation);
     sim::RunConfig config = spec.run;
@@ -111,6 +234,12 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
             ? sim::run_simulation(*algorithm, initial, config, observers)
             : sim::run_simulation(*algorithm, initial, config);
 
+    if (run.outcome == sim::RunOutcome::kDeadlineExceeded) {
+      return {std::nullopt,
+              CampaignError{CampaignErrorKind::kDeadline, seed, 0,
+                            "run exceeded deadline_ms=" +
+                                std::to_string(spec.run.deadline_ms)}};
+    }
     RunMetrics m;
     m.seed = seed;
     m.converged = run.converged;
@@ -134,14 +263,85 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool) {
         m.outcome = sim::RunOutcome::kCollision;
         if (attribute_faults) m.collision_channel = safety.dominant_channel();
       }
+      if (spec.abort_on_collision && report.position_collisions > 0) {
+        return {std::nullopt,
+                CampaignError{
+                    CampaignErrorKind::kCollisionAbort, seed, 0,
+                    std::to_string(report.position_collisions) +
+                        " position collision(s) with abort_on_collision set"}};
+      }
     }
-    result.runs[slot] = m;
+    return {std::move(m), CampaignError{}};
   };
-  if (indices.size() == 1) {
+
+  const auto run_cell = [&](std::size_t slot) {
+    Cell& cell = cells[slot];
+    if (cell.resumed) return;
+    const std::uint64_t seed = spec.seed_base + indices[slot];
+    CampaignError last_error;
+    for (std::size_t attempt = 1; attempt <= spec.max_attempts; ++attempt) {
+      // Cooperative stop: cells already past this gate drain normally; this
+      // one (and its remaining retries) is abandoned without a record.
+      if (stop_requested()) {
+        cell.skipped = true;
+        return;
+      }
+      bool retriable = true;
+      try {
+        auto [metrics, error] = attempt_cell(seed);
+        if (metrics) {
+          cell.metrics = std::move(metrics);
+          if (control.journal != nullptr) {
+            control.journal->append_cell(spec, *cell.metrics);
+          }
+          return;
+        }
+        last_error = std::move(error);
+        // A collision verdict is deterministic in the seed; retrying would
+        // reproduce it exactly.
+        retriable = last_error.kind != CampaignErrorKind::kCollisionAbort;
+      } catch (const std::exception& e) {
+        last_error =
+            CampaignError{CampaignErrorKind::kException, seed, 0, e.what()};
+      } catch (...) {
+        last_error = CampaignError{CampaignErrorKind::kException, seed, 0,
+                                   "unknown exception"};
+      }
+      last_error.attempts = attempt;
+      if (!retriable) break;
+      if (attempt < spec.max_attempts) {
+        const std::uint64_t delay =
+            backoff_ms(spec.retry_backoff_ms, attempt);
+        if (delay > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+      }
+    }
+    cell.error = std::move(last_error);
+    if (control.journal != nullptr) control.journal->append_error(spec, *cell.error);
+  };
+
+  if (cells.size() == 1) {
     // Keep the lone run on the caller so its in-run fan-out owns the pool.
-    run_one(0);
-  } else {
-    workers.parallel_for(indices.size(), run_one);
+    run_cell(0);
+  } else if (!cells.empty()) {
+    workers.parallel_for(cells.size(), run_cell);
+  }
+
+  // Assemble in ascending seed order (slot order IS seed order), which makes
+  // merged shards and resumed runs reproduce the serial result exactly.
+  result.runs.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    if (cell.skipped) {
+      ++result.cells_skipped;
+      continue;
+    }
+    if (cell.resumed) ++result.cells_resumed;
+    if (cell.metrics) {
+      result.runs.push_back(*cell.metrics);
+    } else if (cell.error) {
+      result.errors.push_back(*cell.error);
+    }
   }
   return result;
 }

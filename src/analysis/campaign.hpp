@@ -7,6 +7,16 @@
 // produce identical metrics). Verification (complete visibility, collision
 // audit) is part of the per-run metrics so that every table in
 // EXPERIMENTS.md carries its own evidence.
+//
+// Resilience (DESIGN.md §12): a campaign is a grid of independent CELLS,
+// one per (campaign, seed). A cell that hangs past the per-run watchdog or
+// throws is retried up to CampaignSpec::max_attempts times and then recorded
+// as a structured CampaignError on the result instead of aborting the whole
+// campaign. A CampaignControl can attach a checkpoint journal (every
+// finished cell is durably appended), a resume snapshot (journaled cells are
+// skipped and their recorded metrics merged back bit-identically), and a
+// cooperative stop flag (in-flight cells drain, untouched cells are counted
+// as skipped).
 #pragma once
 
 #include "fault/events.hpp"
@@ -15,11 +25,15 @@
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace lumen::analysis {
+
+class CampaignJournal;
+struct JournalSnapshot;
 
 struct CampaignSpec {
   std::string algorithm = "async-log";
@@ -40,7 +54,54 @@ struct CampaignSpec {
   /// big sweeps split across machines without changing a single metric.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Retry policy for retriable cell failures (deadline-exceeded runs and
+  /// thrown exceptions): each cell is attempted up to max_attempts times
+  /// before a CampaignError is recorded. 1 = no retries.
+  std::size_t max_attempts = 1;
+  /// Base backoff between a cell's attempts; attempt k sleeps
+  /// retry_backoff_ms * 2^(k-1), capped at 5000 ms. 0 = retry immediately.
+  std::uint64_t retry_backoff_ms = 0;
+  /// When set, an audited cell whose run produced a position collision is
+  /// recorded as a kCollisionAbort error instead of a metrics row (the
+  /// verdict is deterministic in the seed, so it is never retried).
+  bool abort_on_collision = false;
 };
+
+/// Why a cell (or the whole campaign) failed. The taxonomy drives retry:
+/// only timing-dependent failures (kDeadline) and exceptions (kException,
+/// which may be environmental — allocation, file descriptors) are retried;
+/// kSpecInvalid and kCollisionAbort are deterministic verdicts.
+enum class CampaignErrorKind {
+  kSpecInvalid,     ///< The spec failed validation; campaign-wide, no cells ran.
+  kDeadline,        ///< Every attempt ended RunOutcome::kDeadlineExceeded.
+  kException,       ///< Every attempt threw; detail carries the last what().
+  kCollisionAbort,  ///< abort_on_collision and the audit found a collision.
+};
+
+[[nodiscard]] std::string_view to_string(CampaignErrorKind k) noexcept;
+
+/// Exact (case-sensitive) inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<CampaignErrorKind> campaign_error_kind_from_string(
+    std::string_view name) noexcept;
+
+struct CampaignError {
+  CampaignErrorKind kind = CampaignErrorKind::kException;
+  /// The failed cell's seed; 0 for the campaign-wide kSpecInvalid record.
+  std::uint64_t seed = 0;
+  /// How many attempts were made before giving up (0 for kSpecInvalid).
+  std::size_t attempts = 0;
+  std::string detail;  ///< Human-readable reason (validator/exception text).
+
+  friend bool operator==(const CampaignError&, const CampaignError&) = default;
+};
+
+/// Checks every field domain the JSON loaders check, plus the constraints
+/// only the campaign layer knows (n >= 1, max_attempts >= 1, fault rates in
+/// [0, 1], known algorithm name). Returns the first problem as a
+/// field-naming message, or an empty string when the spec is valid.
+/// run_campaign records the message as a kSpecInvalid CampaignError instead
+/// of running anything.
+[[nodiscard]] std::string validate_campaign_spec(const CampaignSpec& spec);
 
 struct RunMetrics {
   std::uint64_t seed = 0;
@@ -66,11 +127,39 @@ struct RunMetrics {
   /// The fault channel the safety monitor blames for the run's collision
   /// incidents (kNone when incident-free or unaudited).
   fault::FaultChannel collision_channel = fault::FaultChannel::kNone;
+
+  friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
+};
+
+/// External hooks for one run_campaign call; everything is optional and
+/// non-owning. `journal` receives one durable record per finished cell;
+/// `resume` pre-fills cells already journaled by a previous (interrupted)
+/// process; `stop` is polled before each cell starts — once set, running
+/// cells drain normally and untouched cells are counted in cells_skipped.
+/// Resuming against the journal file being appended to is the intended
+/// shape (lumen-bench --resume does exactly that).
+struct CampaignControl {
+  CampaignJournal* journal = nullptr;
+  const JournalSnapshot* resume = nullptr;
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<RunMetrics> runs;
+  /// Cells that failed after retries (ascending seed), or a single
+  /// campaign-wide kSpecInvalid record. Aggregates below run over `runs`
+  /// only, so a partially-failed campaign still reports honest numbers.
+  std::vector<CampaignError> errors;
+  /// Bookkeeping (NOT part of the serialized result, so an interrupted +
+  /// resumed campaign is byte-identical to an uninterrupted one).
+  std::size_t cells_resumed = 0;  ///< Cells merged from the resume snapshot.
+  std::size_t cells_skipped = 0;  ///< Cells never started (stop requested).
+
+  /// True when every cell produced metrics: no errors, nothing skipped.
+  [[nodiscard]] bool complete() const noexcept {
+    return errors.empty() && cells_skipped == 0;
+  }
 
   [[nodiscard]] std::size_t converged_count() const noexcept;
   [[nodiscard]] std::size_t visibility_ok_count() const noexcept;
@@ -86,8 +175,12 @@ struct CampaignResult {
 };
 
 /// Runs the campaign on the given pool (nullptr -> util::global_pool()).
+/// Never throws for per-cell failures: an invalid spec, a hung run or a
+/// throwing cell ends up in CampaignResult::errors (see CampaignControl for
+/// journaling / resume / cooperative stop).
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
-                                          util::ThreadPool* pool = nullptr);
+                                          util::ThreadPool* pool = nullptr,
+                                          const CampaignControl& control = {});
 
 /// Convenience: per-N sweep of the same campaign spec, returning the epoch
 /// means aligned with `ns` (for scaling fits).

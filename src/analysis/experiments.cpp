@@ -50,6 +50,32 @@ std::string strfmt(const char* fmt, ...) {
   return buf;
 }
 
+/// Runs one campaign under the experiment's context, folding cell errors
+/// and stop-skipped cells into the result's notes and partial flag — a
+/// failed or interrupted campaign degrades the table it feeds instead of
+/// aborting the experiment (DESIGN.md §12).
+CampaignResult run_checked(const CampaignSpec& campaign,
+                           const ExperimentContext& ctx,
+                           ExperimentResult& result) {
+  CampaignResult r = run_campaign(campaign, ctx.pool, ctx.control);
+  if (!r.complete()) {
+    result.partial = true;
+    for (const auto& e : r.errors) {
+      result.notes.push_back(strfmt(
+          "campaign cell error [%s] N=%zu seed=%llu after %zu attempt(s): %s",
+          std::string(to_string(e.kind)).c_str(), campaign.n,
+          static_cast<unsigned long long>(e.seed), e.attempts,
+          e.detail.c_str()));
+    }
+    if (r.cells_skipped > 0) {
+      result.notes.push_back(
+          strfmt("campaign N=%zu: %zu cell(s) skipped (stop requested)",
+                 campaign.n, r.cells_skipped));
+    }
+  }
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 // E1 — the headline figure (claims C2 + C5): epochs-to-convergence vs N for
 // the paper's ASYNC O(log N) algorithm and the O(N) sequential-translation
@@ -61,15 +87,19 @@ struct Series {
 };
 
 Series run_series(const std::string& algorithm, const std::vector<std::size_t>& ns,
-                  const ScenarioSpec& scenario, util::ThreadPool* pool,
+                  const ScenarioSpec& scenario, const ExperimentContext& ctx,
                   ExperimentResult& result) {
   Series series;
   for (const std::size_t n : ns) {
+    if (ctx.stop_requested()) {
+      result.partial = true;
+      break;
+    }
     CampaignSpec spec = scenario.campaign(n);
     spec.algorithm = algorithm;
     // Fewer seeds at the largest sizes to keep the single-core budget sane.
     if (n >= 512) spec.runs = std::min<std::size_t>(spec.runs, 3);
-    const auto campaign = run_campaign(spec, pool);
+    const auto campaign = run_checked(spec, ctx, result);
     const auto epochs = campaign.epochs();
     series.ns.push_back(static_cast<double>(n));
     series.epochs_mean.push_back(epochs.mean);
@@ -114,7 +144,8 @@ double avg_doubling_ratio(const Series& s) {
   return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }
 
-ExperimentResult run_time_vs_n(const ScenarioSpec& spec, util::ThreadPool* pool) {
+ExperimentResult run_time_vs_n(const ScenarioSpec& spec,
+                               const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "time-vs-n";
   result.title =
@@ -123,9 +154,9 @@ ExperimentResult run_time_vs_n(const ScenarioSpec& spec, util::ThreadPool* pool)
   result.columns = {"algorithm", "N",            "converged",  "runs",
                     "epochs(mean)", "epochs(sd)", "min",        "max"};
 
-  const Series fast = run_series(spec.algorithm, spec.ns, spec, pool, result);
+  const Series fast = run_series(spec.algorithm, spec.ns, spec, ctx, result);
   const Series slow =
-      run_series("seq-baseline", spec.baseline_sizes(), spec, pool, result);
+      run_series("seq-baseline", spec.baseline_sizes(), spec, ctx, result);
 
   result.notes.push_back(fit_note(spec.algorithm.c_str(), fast));
   result.notes.push_back(fit_note("seq-baseline", slow));
@@ -152,7 +183,8 @@ ExperimentResult run_time_vs_n(const ScenarioSpec& spec, util::ThreadPool* pool)
 // every configuration family, adversary, and (for the comparators) their
 // home schedulers. Every row must read 100% converged / visible.
 
-ExperimentResult run_convergence(const ScenarioSpec& spec, util::ThreadPool* pool) {
+ExperimentResult run_convergence(const ScenarioSpec& spec,
+                                 const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "convergence";
   result.title = "E2: convergence matrix (claim C1)";
@@ -171,7 +203,7 @@ ExperimentResult run_convergence(const ScenarioSpec& spec, util::ThreadPool* poo
     campaign.family = family;
     campaign.run.scheduler = scheduler;
     campaign.run.adversary = adversary;
-    const auto r = run_campaign(campaign, pool);
+    const auto r = run_checked(campaign, ctx, result);
     const bool ok = r.converged_count() == r.runs.size() &&
                     r.visibility_ok_count() == r.runs.size();
     all_ok = all_ok && ok;
@@ -227,7 +259,8 @@ ExperimentResult run_convergence(const ScenarioSpec& spec, util::ThreadPool* poo
 // E3 — claim C3: O(1) colors. The number of DISTINCT light colors displayed
 // over an entire execution must not grow with N.
 
-ExperimentResult run_colors(const ScenarioSpec& spec, util::ThreadPool* pool) {
+ExperimentResult run_colors(const ScenarioSpec& spec,
+                            const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "colors";
   result.title = "E3: distinct colors used per execution (claim C3)";
@@ -240,7 +273,7 @@ ExperimentResult run_colors(const ScenarioSpec& spec, util::ThreadPool* pool) {
     for (const std::size_t n : spec.ns) {
       CampaignSpec campaign = spec.campaign(n);
       campaign.family = family;
-      const auto r = run_campaign(campaign, pool);
+      const auto r = run_checked(campaign, ctx, result);
       const std::size_t used = r.max_colors();
       overall_max = std::max(overall_max, used);
       bounded = bounded && used <= model::kLightCount &&
@@ -260,7 +293,8 @@ ExperimentResult run_colors(const ScenarioSpec& spec, util::ThreadPool* pool) {
 // ablation that justifies the beacon handshake (same geometry WITHOUT the
 // handshake degrades safety under ASYNC).
 
-ExperimentResult run_collisions(const ScenarioSpec& spec, util::ThreadPool* pool) {
+ExperimentResult run_collisions(const ScenarioSpec& spec,
+                                const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "collisions";
   result.title = "E4: continuous collision audit (claim C4) + handshake ablation";
@@ -281,7 +315,7 @@ ExperimentResult run_collisions(const ScenarioSpec& spec, util::ThreadPool* pool
     campaign.family = family;
     campaign.run.adversary = adversary;
     campaign.audit_collisions = true;
-    const auto r = run_campaign(campaign, pool);
+    const auto r = run_checked(campaign, ctx, result);
     std::size_t collisions = 0, crossings = 0;
     double min_sep = std::numeric_limits<double>::infinity();
     for (const auto& m : r.runs) {
@@ -344,7 +378,8 @@ ExperimentResult run_collisions(const ScenarioSpec& spec, util::ThreadPool* pool
 // corner census at every move completion and report the time at which the
 // count first reached each power of two.
 
-ExperimentResult run_doubling(const ScenarioSpec& spec, util::ThreadPool*) {
+ExperimentResult run_doubling(const ScenarioSpec& spec,
+                              const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "doubling";
   result.title =
@@ -357,8 +392,16 @@ ExperimentResult run_doubling(const ScenarioSpec& spec, util::ThreadPool*) {
 
   for (const auto family :
        {gen::ConfigFamily::kGaussianBlob, gen::ConfigFamily::kUniformDisk}) {
+    if (result.partial) break;
     for (const std::size_t n : spec.ns) {
+      if (result.partial) break;
       for (std::size_t i = 0; i < spec.runs; ++i) {
+        // E5 drives run_simulation directly (it needs the hull history, not
+        // campaign aggregates), so the cooperative stop is checked here.
+        if (ctx.stop_requested()) {
+          result.partial = true;
+          break;
+        }
         const std::uint64_t seed = spec.seed_base + i;
         const auto initial = gen::generate(family, n, seed, spec.min_separation);
         sim::RunConfig config = spec.run;
@@ -415,7 +458,8 @@ ExperimentResult run_doubling(const ScenarioSpec& spec, util::ThreadPool*) {
 // the paper's contribution positioned against the known O(1)-time SSYNC
 // algorithm and the O(N) ASYNC translation, with MEASURED values.
 
-ExperimentResult run_summary(const ScenarioSpec& spec, util::ThreadPool* pool) {
+ExperimentResult run_summary(const ScenarioSpec& spec,
+                             const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "summary";
   const std::size_t n = spec.ns.front();
@@ -447,7 +491,7 @@ ExperimentResult run_summary(const ScenarioSpec& spec, util::ThreadPool* pool) {
     // The comparators' collision behaviour is covered in E4; here we audit
     // only the paper's algorithm to stay within the serial time budget.
     campaign.audit_collisions = std::string_view(row.algorithm) == "async-log";
-    const auto r = run_campaign(campaign, pool);
+    const auto r = run_checked(campaign, ctx, result);
     const auto epochs = r.epochs();
     const bool verified = r.converged_count() == r.runs.size() &&
                           r.visibility_ok_count() == r.runs.size() &&
@@ -504,7 +548,8 @@ AblationStats aggregate(const CampaignResult& result) {
   return s;
 }
 
-ExperimentResult run_ablation(const ScenarioSpec& spec, util::ThreadPool* pool) {
+ExperimentResult run_ablation(const ScenarioSpec& spec,
+                              const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "ablation";
   result.title = "E8: design-choice ablations (N fixed, ASYNC uniform)";
@@ -516,7 +561,7 @@ ExperimentResult run_ablation(const ScenarioSpec& spec, util::ThreadPool* pool) 
   base.audit_collisions = true;
 
   const auto add_row = [&](const char* label, const CampaignSpec& campaign) {
-    const AblationStats s = aggregate(run_campaign(campaign, pool));
+    const AblationStats s = aggregate(run_checked(campaign, ctx, result));
     result.row() = {cell(label),          cell(s.converged),
                     cell(s.epochs, 1),    cell(s.moves, 1),
                     cell(s.collisions),   cell(s.min_sep, 4)};
@@ -559,7 +604,7 @@ ExperimentResult run_ablation(const ScenarioSpec& spec, util::ThreadPool* pool) 
 // baseline, per (N, f).
 
 ExperimentResult run_crash_tolerance(const ScenarioSpec& spec,
-                                     util::ThreadPool* pool) {
+                                     const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "crash-tolerance";
   result.title =
@@ -581,7 +626,7 @@ ExperimentResult run_crash_tolerance(const ScenarioSpec& spec,
           campaign.run.fault.crash.rate <= 0.0) {
         campaign.run.fault.crash.rate = 0.05;
       }
-      const auto r = run_campaign(campaign, pool);
+      const auto r = run_checked(campaign, ctx, result);
       const std::size_t quiescent = r.converged_count();
       const std::size_t visible = r.visibility_ok_count();
       const double crashes_mean =
@@ -626,7 +671,7 @@ ExperimentResult run_crash_tolerance(const ScenarioSpec& spec,
 // SafetyMonitor.
 
 ExperimentResult run_light_corruption(const ScenarioSpec& spec,
-                                      util::ThreadPool* pool) {
+                                      const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "light-corruption";
   result.title =
@@ -643,7 +688,7 @@ ExperimentResult run_light_corruption(const ScenarioSpec& spec,
     CampaignSpec campaign = spec.campaign(n);
     campaign.audit_collisions = true;
     campaign.run.fault.light.probability = p;
-    const auto r = run_campaign(campaign, pool);
+    const auto r = run_checked(campaign, ctx, result);
     std::size_t collisions = 0, crossings = 0, blamed_light = 0;
     for (const auto& m : r.runs) {
       collisions += m.position_collisions;
@@ -684,7 +729,7 @@ ExperimentResult run_light_corruption(const ScenarioSpec& spec,
 // configuration.
 
 ExperimentResult run_sensor_noise(const ScenarioSpec& spec,
-                                  util::ThreadPool* pool) {
+                                  const ExperimentContext& ctx) {
   ExperimentResult result;
   result.experiment = "sensor-noise";
   result.title =
@@ -701,7 +746,7 @@ ExperimentResult run_sensor_noise(const ScenarioSpec& spec,
   for (const double sigma : sigmas) {
     CampaignSpec campaign = spec.campaign(n);
     campaign.run.fault.noise.sigma = sigma;
-    const auto r = run_campaign(campaign, pool);
+    const auto r = run_checked(campaign, ctx, result);
     const std::size_t quiescent = r.converged_count();
     const std::size_t visible = r.visibility_ok_count();
     if (sigma == 0.0) {

@@ -45,6 +45,11 @@ struct ExperimentResult {
     bool passed = false;
   };
   std::vector<Check> checks;
+  /// Set when any campaign was cut short (stop requested, cells skipped) or
+  /// recorded cell errors: the table's aggregates cover only the cells that
+  /// produced metrics. Reporters flag it; claim checks over a partial
+  /// result are not trustworthy either way.
+  bool partial = false;
 
   [[nodiscard]] bool passed() const noexcept;
 
@@ -52,14 +57,29 @@ struct ExperimentResult {
   std::vector<MetricCell>& row();
 };
 
+/// Everything an experiment body needs from its host besides the spec: the
+/// worker pool plus the resilience hooks (journal / resume / stop — see
+/// CampaignControl) the body threads into every run_campaign call.
+struct ExperimentContext {
+  /// nullptr -> util::global_pool(). Only sets parallelism; results are
+  /// bit-identical for any pool size.
+  util::ThreadPool* pool = nullptr;
+  CampaignControl control;
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return control.stop != nullptr &&
+           control.stop->load(std::memory_order_relaxed);
+  }
+};
+
 struct Experiment {
   std::string name;         ///< Stable CLI name, e.g. "time-vs-n".
   std::string id;           ///< Paper-record id, e.g. "E1".
   std::string description;  ///< One-paragraph what/why.
   ScenarioSpec defaults;    ///< The spec the experiment runs without overrides.
-  /// Executes the experiment. The pool (nullptr -> util::global_pool())
-  /// only sets parallelism; results are bit-identical for any pool size.
-  std::function<ExperimentResult(const ScenarioSpec&, util::ThreadPool*)> run;
+  /// Executes the experiment under the given context.
+  std::function<ExperimentResult(const ScenarioSpec&, const ExperimentContext&)>
+      run;
 };
 
 class ExperimentRegistry {

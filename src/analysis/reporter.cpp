@@ -23,6 +23,10 @@ class PrettyReporter final : public Reporter {
     to_table(result).print(os, result.title);
     if (!result.notes.empty()) os << "\n";
     for (const auto& note : result.notes) os << note << "\n";
+    if (result.partial) {
+      os << "  [PARTIAL] result is incomplete (cells failed or were skipped); "
+            "claim checks are not meaningful\n";
+    }
     for (const auto& check : result.checks) {
       os << (check.passed ? "  [PASS] " : "  [FAIL] ") << check.label << "\n";
     }
@@ -79,6 +83,9 @@ util::JsonValue result_to_json(const ExperimentResult& result) {
     checks.push_back(std::move(entry));
   }
   obj.set("checks", std::move(checks));
+  // Only emitted when set, so complete-result documents keep their
+  // historical byte-exact form.
+  if (result.partial) obj.set("partial", util::JsonValue::boolean(true));
   obj.set("passed", util::JsonValue::boolean(result.passed()));
   return obj;
 }

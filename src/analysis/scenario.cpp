@@ -53,6 +53,9 @@ CampaignSpec ScenarioSpec::campaign(std::size_t n) const {
   spec.collision_tolerance = collision_tolerance;
   spec.shard_index = shard_index;
   spec.shard_count = shard_count;
+  spec.max_attempts = max_attempts;
+  spec.retry_backoff_ms = retry_backoff_ms;
+  spec.abort_on_collision = abort_on_collision;
   return spec;
 }
 
@@ -76,6 +79,13 @@ std::string scenario_to_json(const ScenarioSpec& spec) {
           util::JsonValue::integer(static_cast<std::int64_t>(spec.shard_index)));
   obj.set("shard_count",
           util::JsonValue::integer(static_cast<std::int64_t>(spec.shard_count)));
+  obj.set("max_attempts",
+          util::JsonValue::integer(static_cast<std::int64_t>(spec.max_attempts)));
+  obj.set("retry_backoff_ms",
+          util::JsonValue::integer(
+              static_cast<std::int64_t>(spec.retry_backoff_ms)));
+  obj.set("abort_on_collision",
+          util::JsonValue::boolean(spec.abort_on_collision));
   obj.set("run", sim::run_config_to_json(spec.run));
   return util::json_write(obj) + "\n";
 }
@@ -167,6 +177,24 @@ ScenarioParse scenario_from_json(std::string_view text) {
         return out;
       }
       spec.shard_count = static_cast<std::size_t>(value.as_int());
+    } else if (key == "max_attempts") {
+      if (!value.is_integer() || value.as_int() <= 0) {
+        out.error = "max_attempts must be a positive integer";
+        return out;
+      }
+      spec.max_attempts = static_cast<std::size_t>(value.as_int());
+    } else if (key == "retry_backoff_ms") {
+      if (!value.is_integer() || value.as_int() < 0) {
+        out.error = "retry_backoff_ms must be a non-negative integer";
+        return out;
+      }
+      spec.retry_backoff_ms = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "abort_on_collision") {
+      if (!value.is_bool()) {
+        out.error = "abort_on_collision must be a boolean";
+        return out;
+      }
+      spec.abort_on_collision = value.as_bool();
     } else if (key == "run") {
       std::string run_error;
       const auto config = sim::run_config_from_json(value, &run_error);

@@ -37,6 +37,13 @@ struct ScenarioSpec {
   /// shard_count; merged shard results are bit-identical to a serial run.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Cell retry policy and collision handling (see CampaignSpec): each
+  /// retriable cell failure is attempted up to max_attempts times with
+  /// exponential backoff from retry_backoff_ms; abort_on_collision records
+  /// audited collision cells as errors instead of metrics rows.
+  std::size_t max_attempts = 1;
+  std::uint64_t retry_backoff_ms = 0;
+  bool abort_on_collision = false;
   /// Scheduler/adversary/motion template; the per-run seed is overridden
   /// by the campaign.
   sim::RunConfig run;

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace lumen::fault {
@@ -26,6 +27,17 @@ enum class FaultChannel { kNone, kCrash, kLight, kNoise };
     case FaultChannel::kNoise: return "noise";
   }
   return "?";
+}
+
+/// Exact (case-sensitive) inverse of to_string; nullopt for unknown names.
+/// Used by the campaign journal's RunMetrics round-trip.
+[[nodiscard]] constexpr std::optional<FaultChannel> channel_from_string(
+    std::string_view name) noexcept {
+  for (const auto c : {FaultChannel::kNone, FaultChannel::kCrash,
+                       FaultChannel::kLight, FaultChannel::kNoise}) {
+    if (to_string(c) == name) return c;
+  }
+  return std::nullopt;
 }
 
 /// One injected fault occurrence, as delivered to RunObserver::on_fault.

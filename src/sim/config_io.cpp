@@ -32,8 +32,13 @@ util::JsonValue run_config_to_json(const RunConfig& config) {
   obj.set("record_moves", util::JsonValue::boolean(config.record_moves));
   obj.set("rigid_moves", util::JsonValue::boolean(config.rigid_moves));
   obj.set("nonrigid_min_progress", util::JsonValue::number(config.nonrigid_min_progress));
-  // Emitted only when non-default, so pre-fault config documents stay
-  // byte-identical (the round-trip guarantee is over emitted strings).
+  // deadline_ms and fault are emitted only when non-default, so documents
+  // predating each feature stay byte-identical (the round-trip guarantee is
+  // over emitted strings).
+  if (config.deadline_ms > 0) {
+    obj.set("deadline_ms",
+            util::JsonValue::integer(static_cast<std::int64_t>(config.deadline_ms)));
+  }
   if (config.fault != fault::FaultPlan{}) {
     obj.set("fault", fault::fault_plan_to_json(config.fault));
   }
@@ -113,6 +118,13 @@ std::optional<RunConfig> run_config_from_json(const util::JsonValue& json,
         ok = false;
       } else {
         config.nonrigid_min_progress = value.as_double();
+      }
+    } else if (key == "deadline_ms") {
+      if (!value.is_integer() || value.as_int() < 0) {
+        set_error(error, "run.deadline_ms must be a non-negative integer");
+        ok = false;
+      } else {
+        config.deadline_ms = static_cast<std::uint64_t>(value.as_int());
       }
     } else if (key == "fault") {
       std::string fault_error;

@@ -55,13 +55,15 @@ std::string_view to_string(RunOutcome o) noexcept {
     case RunOutcome::kStalled: return "stalled";
     case RunOutcome::kCollision: return "collision";
     case RunOutcome::kBudgetExhausted: return "budget-exhausted";
+    case RunOutcome::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
 
 std::optional<RunOutcome> outcome_from_string(std::string_view name) noexcept {
   for (const auto o : {RunOutcome::kConverged, RunOutcome::kStalled,
-                       RunOutcome::kCollision, RunOutcome::kBudgetExhausted}) {
+                       RunOutcome::kCollision, RunOutcome::kBudgetExhausted,
+                       RunOutcome::kDeadlineExceeded}) {
     if (util::iequals(to_string(o), name)) return o;
   }
   return std::nullopt;
@@ -157,6 +159,9 @@ class AsyncDriver {
         break;
       }
       if (core_.total_cycles() >= cycle_cap) break;
+      // Cooperative watchdog: checked between events, never mid-phase, so a
+      // cut-short run still has a consistent world state to finalize.
+      if (core_.deadline_exceeded()) break;
       // If the last live robot just crashed the queue drains without a
       // further non-Look event; the survivors' fixpoint still counts.
       if (events_.empty()) quiescent = core_.quiescent_async();
@@ -270,6 +275,8 @@ class SyncDriver {
         quiescent = true;
         break;
       }
+      // Cooperative watchdog at the round boundary (quiescence wins ties).
+      if (core_.deadline_exceeded()) break;
     }
 
     const double final_time = static_cast<double>(round);

@@ -41,6 +41,17 @@ ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
   // Fault streams are split() children of rng_, so an empty plan leaves
   // every existing stream untouched (bit-identity with fault-free runs).
   fault_.init(config.fault, rng_, n_);
+  if (config.deadline_ms > 0) {
+    deadline_armed_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(config.deadline_ms);
+  }
+}
+
+bool ExecutionCore::deadline_exceeded() noexcept {
+  if (!deadline_armed_ || deadline_hit_) return deadline_hit_;
+  if (std::chrono::steady_clock::now() >= deadline_) deadline_hit_ = true;
+  return deadline_hit_;
 }
 
 util::Prng ExecutionCore::split_stream(std::string_view tag) const noexcept {
@@ -369,7 +380,11 @@ void ExecutionCore::finalize(RunResult& result, bool converged,
   // which quiescence became detectable; count one extra epoch so the final
   // observing cycle is included, matching the theoretical measure.
   result.epochs = n_ == 0 ? 0 : epochs_.count_epochs(last_change_) + 1;
-  result.outcome = !converged ? RunOutcome::kBudgetExhausted
+  // A run that reached quiescence is converged even if the watchdog probe
+  // fired on the same boundary; the deadline only classifies runs the
+  // driver actually cut short.
+  result.outcome = !converged ? (deadline_hit_ ? RunOutcome::kDeadlineExceeded
+                                               : RunOutcome::kBudgetExhausted)
                    : fault_.crash_count() > 0 ? RunOutcome::kStalled
                                               : RunOutcome::kConverged;
   result.faults = fault_.counters();

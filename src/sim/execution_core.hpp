@@ -29,6 +29,7 @@
 #include "util/prng.hpp"
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -67,6 +68,13 @@ class ExecutionCore {
   /// returns true if it did. The driver must then never schedule the robot
   /// again — its body keeps obstructing and its last light stays visible.
   bool crash_check(std::size_t robot, double time);
+
+  /// Cooperative wall-clock watchdog (RunConfig::deadline_ms): returns true
+  /// once the budget armed at construction has elapsed. Drivers call this
+  /// at cycle/round boundaries and stop scheduling when it fires; finalize
+  /// then classifies the run as RunOutcome::kDeadlineExceeded. Sticky: once
+  /// exceeded it stays exceeded. Free when no deadline is configured.
+  [[nodiscard]] bool deadline_exceeded() noexcept;
 
   [[nodiscard]] bool crash_faults_enabled() const noexcept {
     return fault_.crash_enabled();
@@ -171,6 +179,11 @@ class ExecutionCore {
   sched::StreamingEpochDetector epochs_;
   std::size_t epochs_emitted_ = 0;
   std::span<RunObserver* const> observers_;
+
+  // Watchdog state: armed in the constructor when config.deadline_ms > 0.
+  std::chrono::steady_clock::time_point deadline_{};
+  bool deadline_armed_ = false;
+  bool deadline_hit_ = false;
 
   double last_change_ = 0.0;
   std::size_t total_cycles_ = 0;

@@ -48,7 +48,19 @@ enum class SchedulerKind { kFsync, kSsync, kAsync };
 ///  * kCollision — assigned post-hoc by the campaign layer when the audit
 ///    finds a position collision (the engine itself never stops on one).
 ///  * kBudgetExhausted — the cycle/round cap fired before quiescence.
-enum class RunOutcome { kConverged, kStalled, kCollision, kBudgetExhausted };
+///  * kDeadlineExceeded — the wall-clock watchdog (RunConfig::deadline_ms)
+///    fired at a cycle boundary before quiescence. Unlike every other
+///    outcome this one is timing-dependent, which is exactly its job: a run
+///    hung under an adversarial schedule is classified and returned instead
+///    of wedging a campaign worker forever. The campaign layer treats it as
+///    retriable (see analysis::CampaignError).
+enum class RunOutcome {
+  kConverged,
+  kStalled,
+  kCollision,
+  kBudgetExhausted,
+  kDeadlineExceeded
+};
 
 [[nodiscard]] std::string_view to_string(RunOutcome o) noexcept;
 
@@ -66,6 +78,16 @@ struct RunConfig {
   /// Abort threshold: a run exceeding this many cycles per robot (on
   /// average) is reported as not converged.
   std::size_t max_cycles_per_robot = 4096;
+  /// Per-run wall-clock watchdog in milliseconds; 0 disables it. Enforced
+  /// cooperatively at cycle/round boundaries by the drivers (never
+  /// mid-phase), so a run under an adversarial scheduler that would
+  /// otherwise hang a campaign worker ends with RunOutcome::
+  /// kDeadlineExceeded instead. The cut-off instant is wall-clock and thus
+  /// NOT deterministic — results of runs that finish within the budget are
+  /// unaffected (the watchdog never draws from any PRNG stream).
+  /// Serialized by config_io only when nonzero, so pre-watchdog documents
+  /// stay byte-identical.
+  std::uint64_t deadline_ms = 0;
   /// Draw a fresh random local frame at every Look (full disorientation).
   /// When false, each robot keeps one fixed random frame.
   bool refresh_frames_each_look = true;

@@ -173,6 +173,11 @@ void write_value(std::ostringstream& os, const JsonValue& v, int indent,
 
 class Parser {
  public:
+  // Containers nested deeper than this fail with a clear error instead of
+  // overflowing the recursive-descent stack (a hostile --spec file is the
+  // threat model; real scenario documents nest 3-4 levels).
+  static constexpr int kMaxDepth = 128;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   std::optional<JsonValue> run(std::string* error) {
@@ -227,8 +232,16 @@ class Parser {
       return std::nullopt;
     }
     const char c = text_[pos_];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) {
+        fail("nesting deeper than 128 levels");
+        return std::nullopt;
+      }
+      ++depth_;
+      auto v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
     if (c == '"') {
       auto s = parse_string();
       if (!s) return std::nullopt;
@@ -391,6 +404,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 

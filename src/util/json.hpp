@@ -77,7 +77,8 @@ class JsonValue {
 
 /// Parses a complete JSON document (trailing garbage is an error). On
 /// failure returns nullopt and, when `error` is non-null, a message with a
-/// byte offset.
+/// byte offset. Containers nested deeper than 128 levels are rejected (a
+/// maliciously nested document must not overflow the parser stack).
 [[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
                                                   std::string* error = nullptr);
 

@@ -94,19 +94,45 @@ void ThreadPool::parallel_for_slots(
     for (std::size_t i = 0; i < count; ++i) body(0, i);
     return;
   }
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  // Per-invocation completion/error state. Errors stay with THIS caller —
+  // two concurrent parallel_for regions on the same pool can never observe
+  // each other's exceptions (the pool-global first_error_ is only for bare
+  // submit()+wait_idle users). The first exception wins; the cancel flag
+  // stops the remaining chunk loops from claiming more work, so a throwing
+  // campaign shard fails fast instead of burning the whole index space.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
   const std::size_t tasks = std::min(workers_.size(), (count + grain - 1) / grain);
+  state->pending = tasks;
   for (std::size_t t = 0; t < tasks; ++t) {
-    submit([next, count, grain, &body, t] {
-      for (;;) {
-        const std::size_t begin = next->fetch_add(grain);
-        if (begin >= count) return;
+    submit([state, count, grain, &body, t] {
+      while (!state->cancelled.load(std::memory_order_relaxed)) {
+        const std::size_t begin = state->next.fetch_add(grain);
+        if (begin >= count) break;
         const std::size_t end = std::min(begin + grain, count);
-        for (std::size_t i = begin; i < end; ++i) body(t, i);
+        try {
+          for (std::size_t i = begin; i < end; ++i) body(t, i);
+        } catch (...) {
+          std::lock_guard lock(state->mutex);
+          if (!state->error) state->error = std::current_exception();
+          state->cancelled.store(true, std::memory_order_relaxed);
+          break;
+        }
       }
+      std::lock_guard lock(state->mutex);
+      if (--state->pending == 0) state->done.notify_all();
     });
   }
-  wait_idle();
+  std::unique_lock lock(state->mutex);
+  state->done.wait(lock, [&] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 ThreadPool& global_pool() {

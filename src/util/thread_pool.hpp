@@ -38,7 +38,10 @@ class ThreadPool {
 
   /// Runs body(i) for i in [0, count), distributing dynamically across the
   /// pool and blocking until done. `grain` indices are claimed at a time.
-  /// Rethrows the first exception thrown by any invocation.
+  /// Rethrows the first exception thrown by any invocation; the remaining
+  /// chunks are cancelled (indices not yet claimed may never run). Errors
+  /// are per-invocation: concurrent parallel regions on the same pool never
+  /// observe each other's exceptions, and the pool stays usable after.
   ///
   /// Reentrant: called from one of this pool's own worker threads (a nested
   /// parallel region), the loop runs inline on that worker instead of

@@ -70,7 +70,7 @@ ScenarioSpec tiny(ScenarioSpec spec) {
 TEST(Experiments, EveryExperimentProducesWellFormedResult) {
   for (const auto& e : ExperimentRegistry::instance().experiments()) {
     SCOPED_TRACE(e.name);
-    const ExperimentResult result = e.run(tiny(e.defaults), nullptr);
+    const ExperimentResult result = e.run(tiny(e.defaults), ExperimentContext{});
     EXPECT_EQ(result.experiment, e.name);
     EXPECT_FALSE(result.title.empty());
     EXPECT_FALSE(result.columns.empty());
@@ -96,7 +96,7 @@ TEST(Experiments, TimeVsNMatchesDirectCampaignMetrics) {
   spec.baseline_ns = {8};
   spec.runs = 3;
   spec.audit_collisions = false;
-  const ExperimentResult result = e->run(spec, nullptr);
+  const ExperimentResult result = e->run(spec, ExperimentContext{});
 
   // Rows: async-log at 8 and 16, then seq-baseline at 8.
   ASSERT_EQ(result.rows.size(), 3u);
@@ -134,7 +134,7 @@ TEST(Experiments, CollisionsMatchesDirectCampaignMetrics) {
   ScenarioSpec spec = e->defaults;
   spec.ns = {12};
   spec.runs = 2;
-  const ExperimentResult result = e->run(spec, nullptr);
+  const ExperimentResult result = e->run(spec, ExperimentContext{});
   ASSERT_GE(result.rows.size(), 1u);
 
   CampaignSpec campaign = spec.campaign(12);

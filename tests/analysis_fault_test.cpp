@@ -150,7 +150,7 @@ TEST(FaultExperiments, TinyCrashToleranceRuns) {
   spec.ns = {10};
   spec.runs = 2;
   spec.run.max_cycles_per_robot = 64;
-  const ExperimentResult result = e->run(spec, nullptr);
+  const ExperimentResult result = e->run(spec, ExperimentContext{});
   EXPECT_EQ(result.experiment, "crash-tolerance");
   ASSERT_FALSE(result.rows.empty());
   for (const auto& row : result.rows) {

@@ -23,6 +23,9 @@ ScenarioSpec full_spec() {
   spec.collision_tolerance = 0.125;
   spec.shard_index = 1;
   spec.shard_count = 3;
+  spec.max_attempts = 3;
+  spec.retry_backoff_ms = 25;
+  spec.abort_on_collision = true;
   spec.run.scheduler = sim::SchedulerKind::kSsync;
   spec.run.adversary = sched::AdversaryKind::kBursty;
   spec.run.max_cycles_per_robot = 512;
@@ -61,6 +64,9 @@ TEST(Scenario, ParsePreservesEveryField) {
   EXPECT_DOUBLE_EQ(spec.collision_tolerance, 0.125);
   EXPECT_EQ(spec.shard_index, 1u);
   EXPECT_EQ(spec.shard_count, 3u);
+  EXPECT_EQ(spec.max_attempts, 3u);
+  EXPECT_EQ(spec.retry_backoff_ms, 25u);
+  EXPECT_TRUE(spec.abort_on_collision);
   EXPECT_EQ(spec.run.scheduler, sim::SchedulerKind::kSsync);
   EXPECT_EQ(spec.run.adversary, sched::AdversaryKind::kBursty);
   EXPECT_EQ(spec.run.max_cycles_per_robot, 512u);
@@ -95,6 +101,9 @@ TEST(Scenario, RejectsMalformedDocuments) {
       R"({"type": "lumen-scenario", "version": 1, "ns": [8.5]})",
       R"({"type": "lumen-scenario", "version": 1, "min_separation": 0})",
       R"({"type": "lumen-scenario", "version": 1, "shard_index": 2, "shard_count": 2})",
+      R"({"type": "lumen-scenario", "version": 1, "max_attempts": 0})",
+      R"({"type": "lumen-scenario", "version": 1, "retry_backoff_ms": -5})",
+      R"({"type": "lumen-scenario", "version": 1, "abort_on_collision": 1})",
       R"({"type": "lumen-scenario", "version": 1, "run": {"scheduler": "NOPE"}})",
       R"({"type": "lumen-scenario", "version": 1, "run": {"adversary": "nope"}})",
       R"([1, 2, 3])",
@@ -119,6 +128,9 @@ TEST(Scenario, CampaignProjectionCopiesEveryKnob) {
   EXPECT_DOUBLE_EQ(campaign.collision_tolerance, spec.collision_tolerance);
   EXPECT_EQ(campaign.shard_index, spec.shard_index);
   EXPECT_EQ(campaign.shard_count, spec.shard_count);
+  EXPECT_EQ(campaign.max_attempts, spec.max_attempts);
+  EXPECT_EQ(campaign.retry_backoff_ms, spec.retry_backoff_ms);
+  EXPECT_EQ(campaign.abort_on_collision, spec.abort_on_collision);
   EXPECT_EQ(campaign.run.scheduler, spec.run.scheduler);
   EXPECT_EQ(campaign.run.adversary, spec.run.adversary);
 }

@@ -110,10 +110,15 @@ TEST(Campaign, CollisionAuditCanBeDisabled) {
   }
 }
 
-TEST(Campaign, UnknownAlgorithmThrows) {
+TEST(Campaign, UnknownAlgorithmRecordsSpecInvalidError) {
   CampaignSpec spec = small_spec();
   spec.algorithm = "bogus";
-  EXPECT_THROW((void)run_campaign(spec), std::invalid_argument);
+  const auto result = run_campaign(spec);
+  EXPECT_TRUE(result.runs.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].kind, CampaignErrorKind::kSpecInvalid);
+  EXPECT_NE(result.errors[0].detail.find("algorithm"), std::string::npos);
+  EXPECT_FALSE(result.complete());
 }
 
 TEST(Campaign, SweepProducesOnePointPerN) {

@@ -90,6 +90,31 @@ TEST(Json, MalformedInputsRejectedWithError) {
   }
 }
 
+TEST(Json, DeeplyNestedInputRejectedNotOverflowed) {
+  // A hostile or corrupted document must fail with a parse error, not a
+  // stack overflow in the recursive-descent parser.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  std::string error;
+  EXPECT_FALSE(json_parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+
+  // Mixed object/array nesting hits the same guard.
+  std::string mixed;
+  for (int i = 0; i < 100; ++i) mixed += "{\"a\":[";
+  std::string mixed_error;
+  EXPECT_FALSE(json_parse(mixed, &mixed_error).has_value());
+  EXPECT_NE(mixed_error.find("nesting"), std::string::npos) << mixed_error;
+}
+
+TEST(Json, ModeratelyNestedInputStillParses) {
+  std::string doc(100, '[');
+  doc += std::string(100, ']');
+  const auto v = json_parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_array());
+}
+
 TEST(Json, LargeIntegerPreserved) {
   const auto v = json_parse("1234567890123456789");
   ASSERT_TRUE(v.has_value());

@@ -56,6 +56,27 @@ TEST(ThreadPool, ExceptionPropagatesToCaller) {
   EXPECT_EQ(n.load(), 10);
 }
 
+TEST(ThreadPool, ConcurrentThrowersDeliverExactlyOneException) {
+  // Many indices throw at once; exactly one exception must reach the caller
+  // and the rest must be swallowed without crashing or leaking state into
+  // subsequent parallel_for calls.
+  ThreadPool pool{4};
+  for (int round = 0; round < 3; ++round) {
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "parallel_for swallowed every exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u) << e.what();
+    }
+    // The pool is immediately reusable after each throwing round.
+    std::atomic<int> n{0};
+    pool.parallel_for(16, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 16);
+  }
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool{2};
   std::atomic<int> n{0};
