@@ -144,6 +144,42 @@ void BM_VisibleFrom(benchmark::State& state) {
 }
 BENCHMARK(BM_VisibleFrom)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
 
+void BM_VisibleFromSoA(benchmark::State& state) {
+  // The split-array kernel exactly as sim::WorldState feeds it: the
+  // key-build loop streams xs/ys directly instead of materialising Vec2
+  // pairs. Output is bit-identical to BM_VisibleFrom's AoS form; the delta
+  // between the two families is pure memory-layout effect.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 3);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    xs[j] = pts[j].x;
+    ys[j] = pts[j].y;
+  }
+  lumen::geom::VisibilityScratch scratch;
+  std::vector<std::size_t> out;
+  lumen::geom::visible_from(xs, ys, 0, scratch, out);  // Warm.
+  const std::size_t allocs_before = alloc_count();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    lumen::geom::visible_from(xs, ys, i, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % n;
+  }
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - allocs_before) /
+      static_cast<double>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VisibleFromSoA)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Complexity();
+
 void BM_ComputeVisibility(benchmark::State& state) {
   const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
   for (auto _ : state) {
@@ -204,7 +240,7 @@ void BM_SsyncRoundStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SsyncRoundStep)
     ->RangeMultiplier(2)
-    ->Range(256, 1024)
+    ->Range(256, 4096)
     ->Complexity()
     ->Unit(benchmark::kMillisecond);
 
@@ -230,6 +266,34 @@ BENCHMARK(BM_SsyncRoundStepPooled)
     ->RangeMultiplier(2)
     ->Range(256, 1024)
     ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalRound(benchmark::State& state) {
+  // Multi-round SSYNC run with the incremental visibility cache enabled:
+  // range(0) robots, range(1) rounds per iteration. Rounds past the second
+  // flow through the cache's replay/repair/rebuild triage (admission stores
+  // on the second Look), so this family prices the whole write-log pipeline
+  // end to end — WorldState commits, arena reuse, cache triage — not just
+  // the sort kernel. The 65536-robot single-round entry is the scaling
+  // probe: it must complete inside the fixed cache budget (the per-observer
+  // cap keeps the footprint bounded; see geom::VisibilityCache), and runs
+  // one iteration only because a round at that size is seconds, not micro.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto algo = lumen::core::make_algorithm("ssync-parallel");
+  const auto initial =
+      lumen::gen::generate(lumen::gen::ConfigFamily::kUniformDisk, n, 7);
+  auto config = ssync_round_config();
+  config.max_cycles_per_robot = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto run = lumen::sim::run_simulation(*algo, initial, config);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalRound)
+    ->Args({4096, 3})
+    ->Args({65536, 1})
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_VisibilityNaiveOracle(benchmark::State& state) {

@@ -10,7 +10,8 @@ non-zero if any gated kernel regressed by more than --threshold (fractional;
 0.20 = 20%). By default only the visibility and round-step kernels are
 gated -- the ones the in-run parallelism work optimizes and CI protects:
 
-    BM_VisibleFrom/*  BM_ComputeVisibility/*  BM_SsyncRoundStep/*
+    BM_VisibleFrom/*  BM_VisibleFromSoA/*  BM_ComputeVisibility/*
+    BM_SsyncRoundStep/*  BM_IncrementalRound/*
 
 Pass --all to gate every shared benchmark instead.
 
@@ -29,7 +30,8 @@ import json
 import sys
 
 GATED_PREFIXES = ("BM_VisibleFrom", "BM_ComputeVisibility/",
-                  "BM_ComputeVisibility_", "BM_SsyncRoundStep/")
+                  "BM_ComputeVisibility_", "BM_SsyncRoundStep/",
+                  "BM_IncrementalRound/")
 
 
 def load_times(path):

@@ -2,6 +2,7 @@
 
 #include "analysis/journal.hpp"
 #include "core/registry.hpp"
+#include "sim/look_arena.hpp"
 #include "sim/monitors.hpp"
 #include "sim/streaming_collision.hpp"
 
@@ -206,7 +207,8 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
 
   // One attempt of one cell: generate, run, reduce to metrics — or classify
   // the failure. Returns metrics on success, an error otherwise.
-  const auto attempt_cell = [&](std::uint64_t seed) -> std::pair<std::optional<RunMetrics>, CampaignError> {
+  const auto attempt_cell = [&](std::uint64_t seed, sim::LookArena* arena)
+      -> std::pair<std::optional<RunMetrics>, CampaignError> {
     const auto initial =
         gen::generate(spec.family, spec.n, seed, spec.min_separation);
     sim::RunConfig config = spec.run;
@@ -221,6 +223,11 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
     // below — a large-N run's rounds genuinely parallelize. Either way the
     // results are bit-identical (pool-size invariance, see run.hpp).
     config.pool = &workers;
+    // One Look arena per campaign worker, reused across all its cells:
+    // visibility scratch and cache capacity warmed by one run carry into
+    // the next instead of being reallocated at every engine reset. Results
+    // are bit-identical with or without the shared arena (see run.hpp).
+    config.arena = arena;
     // Fault-injected audited runs swap the bare collision monitor for the
     // attributing SafetyMonitor; on fault-free runs both produce identical
     // reports, so the plain monitor keeps the historical hot path.
@@ -274,7 +281,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
     return {std::move(m), CampaignError{}};
   };
 
-  const auto run_cell = [&](std::size_t slot) {
+  const auto run_cell = [&](std::size_t slot, sim::LookArena* arena) {
     Cell& cell = cells[slot];
     if (cell.resumed) return;
     const std::uint64_t seed = spec.seed_base + indices[slot];
@@ -288,7 +295,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
       }
       bool retriable = true;
       try {
-        auto [metrics, error] = attempt_cell(seed);
+        auto [metrics, error] = attempt_cell(seed, arena);
         if (metrics) {
           cell.metrics = std::move(metrics);
           if (control.journal != nullptr) {
@@ -321,11 +328,18 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
     if (control.journal != nullptr) control.journal->append_error(spec, *cell.error);
   };
 
+  // Slot-stable arenas: worker slot k always reuses arenas[k]; the extra
+  // last arena belongs to the caller thread's single-run path. Sized once,
+  // never resized (LookArena is not movable — the cache pins its entries).
+  std::vector<sim::LookArena> arenas(workers.slot_count() + 1);
   if (cells.size() == 1) {
     // Keep the lone run on the caller so its in-run fan-out owns the pool.
-    run_cell(0);
+    run_cell(0, &arenas.back());
   } else if (!cells.empty()) {
-    workers.parallel_for(cells.size(), run_cell);
+    workers.parallel_for_slots(cells.size(),
+                               [&](std::size_t slot, std::size_t index) {
+                                 run_cell(index, &arenas[slot]);
+                               });
   }
 
   // Assemble in ascending seed order (slot order IS seed order), which makes

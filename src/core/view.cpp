@@ -21,7 +21,7 @@ std::vector<Vec2> LocalView::hull_points() const {
 namespace {
 
 /// Role for a fully collinear view: extreme along the line -> kLineEnd.
-Role line_role(const std::vector<Vec2>& pts) {
+Role line_role(std::span<const Vec2> pts) {
   // Observer is pts[0] at the origin. Find any distinct point to fix the
   // line direction, then check whether all points lie on one side.
   Vec2 dir{};
@@ -71,15 +71,11 @@ std::optional<NearestEdge> scan_nearest_hull_edge(const LocalView& view, Vec2 p)
 
 LocalView build_view(const model::Snapshot& snap) {
   LocalView view;
-  view.pts.reserve(snap.visible.size() + 1);
-  view.lights.reserve(snap.visible.size() + 1);
-  view.pts.push_back(model::Snapshot::self_position());
-  view.lights.push_back(snap.self_light);
-  for (const auto& e : snap.visible) {
-    view.pts.push_back(e.position);
-    view.lights.push_back(e.light);
-  }
-  if (view.pts.size() == 1) {
+  // Zero-copy: the snapshot already stores [self, visible...] in parallel
+  // arrays with self at the origin — exactly the view's index convention.
+  view.pts = snap.all_positions();
+  view.lights = snap.lights;
+  if (view.pts.size() <= 1) {
     view.role = Role::kAlone;
     return view;
   }
@@ -131,11 +127,15 @@ bool gate_blocked_by_closer_robot(const LocalView& view, const GateEdge& gate) {
     if (i == gate.i1 || i == gate.i2) continue;
     const Vec2 p = view.pts[i];
     // Strictly inside triangle (a, c1, c2)? The triangle is oriented
-    // (a, c1, c2) or (a, c2, c1); test both winding signs consistently.
-    const int o1 = geom::orient2d(a, gate.c1, p);
-    const int o2 = geom::orient2d(gate.c1, gate.c2, p);
-    const int o3 = geom::orient2d(gate.c2, a, p);
-    if ((o1 > 0 && o2 > 0 && o3 > 0) || (o1 < 0 && o2 < 0 && o3 < 0)) return true;
+    // (a, c1, c2) or (a, c2, c1); all three signs must agree and be
+    // nonzero, so each test short-circuits the next — most robots fail on
+    // the first edge, which keeps this O(n) scan out of the profile.
+    const int o1 = geom::orient2d_inline(a, gate.c1, p);
+    if (o1 == 0) continue;
+    const int o2 = geom::orient2d_inline(gate.c1, gate.c2, p);
+    if (o2 != o1) continue;
+    const int o3 = geom::orient2d_inline(gate.c2, a, p);
+    if (o3 == o1) return true;
   }
   return false;
 }

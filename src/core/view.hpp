@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace lumen::core {
@@ -37,11 +38,13 @@ enum class Role {
 
 /// The digest all Compute rules share. Index 0 is always the observer
 /// (at the local origin); indices 1.. are the visible robots in snapshot
-/// order.
+/// order. The point and light spans BORROW the snapshot's parallel arrays
+/// (build_view copies nothing), so a view must not outlive the Snapshot it
+/// was built from — the hull index list is the only owned state.
 struct LocalView {
-  std::vector<geom::Vec2> pts;        ///< Observer first, then visible robots.
-  std::vector<model::Light> lights;   ///< Parallel to pts.
-  std::vector<std::size_t> hull;      ///< CCW strict-vertex indices into pts.
+  std::span<const geom::Vec2> pts;     ///< Observer first, then visible robots.
+  std::span<const model::Light> lights;  ///< Parallel to pts.
+  std::vector<std::size_t> hull;       ///< CCW strict-vertex indices into pts.
   Role role = Role::kAlone;
 
   [[nodiscard]] std::size_t count() const noexcept { return pts.size(); }
@@ -51,7 +54,8 @@ struct LocalView {
   [[nodiscard]] std::vector<geom::Vec2> hull_points() const;
 };
 
-/// Builds the digest from a snapshot.
+/// Builds the digest from a snapshot. The returned view aliases `snap`'s
+/// position and light storage; keep the snapshot alive while using it.
 [[nodiscard]] LocalView build_view(const model::Snapshot& snap);
 
 /// A gate: a hull edge through which an interior/side robot exits.

@@ -53,21 +53,26 @@ util::Prng FaultState::look_rng(std::size_t robot,
 }
 
 std::size_t FaultState::make_noisy_view(std::size_t observer, util::Prng& rng,
-                                        std::span<const geom::Vec2> world,
+                                        std::span<const double> xs,
+                                        std::span<const double> ys,
                                         std::span<const model::Light> lights,
                                         ViewScratch& view,
                                         LookFaultStats& stats) const {
-  view.positions.clear();
+  const std::size_t n = xs.size();
+  view.xs.clear();
+  view.ys.clear();
   view.lights.clear();
-  view.positions.reserve(world.size());
-  view.lights.reserve(world.size());
+  view.xs.reserve(n);
+  view.ys.reserve(n);
+  view.lights.reserve(n);
   const double sigma = plan_.noise.sigma;
   const double dropout = plan_.noise.dropout;
   std::size_t observer_index = 0;
-  for (std::size_t j = 0; j < world.size(); ++j) {
+  for (std::size_t j = 0; j < n; ++j) {
     if (j == observer) {
-      observer_index = view.positions.size();
-      view.positions.push_back(world[j]);
+      observer_index = view.xs.size();
+      view.xs.push_back(xs[j]);
+      view.ys.push_back(ys[j]);
       view.lights.push_back(lights[j]);
       continue;
     }
@@ -75,13 +80,15 @@ std::size_t FaultState::make_noisy_view(std::size_t observer, util::Prng& rng,
       ++stats.dropped;
       continue;
     }
-    geom::Vec2 p = world[j];
+    double px = xs[j];
+    double py = ys[j];
     if (sigma > 0.0) {
-      p.x += sigma * rng.normal();
-      p.y += sigma * rng.normal();
+      px += sigma * rng.normal();
+      py += sigma * rng.normal();
       ++stats.perturbed;
     }
-    view.positions.push_back(p);
+    view.xs.push_back(px);
+    view.ys.push_back(py);
     view.lights.push_back(lights[j]);
   }
   return observer_index;
@@ -91,25 +98,30 @@ void FaultState::corrupt_lights(util::Prng& rng, model::Snapshot& snap,
                                 LookFaultStats& stats) const {
   const double p = plan_.light.probability;
   if (p <= 0.0) return;
-  for (auto& entry : snap.visible) {
+  // Visible entries live at snapshot indices 1.. (index 0 is the observer,
+  // whose own light is internal state, not a sensor reading). The walk —
+  // and therefore the rng draw sequence — matches the historical per-entry
+  // loop exactly.
+  for (std::size_t k = 1; k < snap.lights.size(); ++k) {
     if (!rng.bernoulli(p)) continue;
     ++stats.corrupted;
+    model::Light& light = snap.lights[k];
     switch (plan_.light.mode) {
       case CorruptionMode::kStuck:
-        entry.light = model::Light::kOff;
+        light = model::Light::kOff;
         break;
       case CorruptionMode::kFlip: {
-        const auto i = static_cast<std::size_t>(entry.light);
-        entry.light = model::kAllLights[(i + 1) % model::kLightCount];
+        const auto i = static_cast<std::size_t>(light);
+        light = model::kAllLights[(i + 1) % model::kLightCount];
         break;
       }
       case CorruptionMode::kRandom: {
         // Uniform over the OTHER palette colors, so a corrupted read is
         // always an actual misread.
-        const auto original = static_cast<std::uint64_t>(entry.light);
+        const auto original = static_cast<std::uint64_t>(light);
         std::uint64_t pick = rng.next_below(model::kLightCount - 1);
         if (pick >= original) ++pick;
-        entry.light = model::kAllLights[pick];
+        light = model::kAllLights[pick];
         break;
       }
     }

@@ -43,9 +43,12 @@ struct LookFaultStats {
 };
 
 /// Reusable buffers for the noisy-view construction (one per engine plus
-/// one per pool slot, like model::SnapshotScratch).
+/// one per pool slot, like model::SnapshotScratch). Split coordinate
+/// arrays, mirroring sim::WorldState: the compacted noisy view feeds the
+/// same SoA build_snapshot path as the clean world.
 struct ViewScratch {
-  std::vector<geom::Vec2> positions;
+  std::vector<double> xs;
+  std::vector<double> ys;
   std::vector<model::Light> lights;
 };
 
@@ -92,10 +95,14 @@ class FaultState {
 
   /// Builds the observer's noisy view of the world: every other robot is
   /// independently dropped with P(dropout), survivors get N(0, sigma^2)
-  /// added per axis; the observer itself is copied exactly. Returns the
-  /// observer's index within the compacted view arrays.
+  /// added per axis; the observer itself is copied exactly. The world
+  /// arrives as split coordinate arrays (xs[j], ys[j]); the compacted view
+  /// lands in `view`'s parallel SoA buffers. Returns the observer's index
+  /// within them. Draw order is per robot in index order (dropout draw,
+  /// then x/y noise draws), identical to the historical AoS walk.
   std::size_t make_noisy_view(std::size_t observer, util::Prng& rng,
-                              std::span<const geom::Vec2> world,
+                              std::span<const double> xs,
+                              std::span<const double> ys,
                               std::span<const model::Light> lights,
                               ViewScratch& view, LookFaultStats& stats) const;
 

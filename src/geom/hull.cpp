@@ -1,20 +1,124 @@
 #include "geom/hull.hpp"
 
 #include "geom/predicates.hpp"
+#include "util/radix.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <numeric>
+#include <cstdint>
 
 namespace lumen::geom {
 
+namespace {
+
+/// Monotone 32-bit presort key for an x-coordinate: round to float
+/// (round-to-nearest is monotone, so DISTINCT keys certify the double
+/// order) and remap the sign bit so unsigned order matches numeric order.
+/// Only runs of EQUAL keys can hide an exactly-ordered pair, so those runs
+/// alone are re-sorted with the full (x, y, index) comparator.
+inline std::uint32_t x_presort_key(double x) noexcept {
+  const std::uint32_t u = std::bit_cast<std::uint32_t>(static_cast<float>(x));
+  return (u & 0x80000000u) != 0 ? ~u : (u | 0x80000000u);
+}
+
+/// True only when the stage-A filter CERTIFIES orient2d(a, b, c) > 0 (c
+/// strictly left of a->b). No exact fallback: an uncertain sign returns
+/// false, which the interior cull below treats as "keep the point" — sound,
+/// because a false negative merely forgoes a discard.
+inline bool certainly_left(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+  if (!(det > 0.0)) return false;
+  double detsum = 0.0;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return true;  // Opposite signs: det sign is exact.
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    detsum = -detleft - detright;  // det > 0 forces detright < detleft < 0.
+  } else {
+    return false;  // detleft rounded to zero: cannot certify.
+  }
+  return det >= detail::kCcwErrBoundA * detsum;
+}
+
+/// Below this size the extreme-quad cull costs more than the chain work it
+/// saves. Output-neutral: the cull never changes the hull, only its cost.
+inline constexpr std::size_t kCullMin = 32;
+
+}  // namespace
+
 std::vector<std::size_t> convex_hull_indices(std::span<const Vec2> points) {
   const std::size_t n = points.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
-    return points[i] < points[j];
-  });
+  // Lexicographic (x, y, index) sort, radix-presorted by a rounded x key.
+  // The index tie-break makes the order — and hence the surviving
+  // duplicate below — deterministic across library sort implementations.
+  std::vector<std::uint64_t> records;
+  std::vector<std::uint64_t> tmp;
+  records.reserve(n);
+  if (n >= kCullMin) {
+    // Akl–Toussaint interior cull: a point certifiably STRICTLY inside the
+    // quadrilateral of the four coordinate-extreme points is strictly
+    // inside the hull, so the monotone chain below could never emit it.
+    // Dropping such points first shrinks both the sort and the chain to the
+    // candidate fringe while leaving the output bit-identical — the
+    // certify-only test keeps every point the filter cannot decide, and on
+    // fully collinear input (degenerate quad) it certifies nothing, so the
+    // degenerate branch still sees the complete sorted order.
+    std::size_t iw = 0, ie = 0, is = 0, in = 0;
+    for (std::size_t j = 1; j < n; ++j) {
+      if (points[j].x < points[iw].x) iw = j;
+      if (points[j].x > points[ie].x) ie = j;
+      if (points[j].y < points[is].y) is = j;
+      if (points[j].y > points[in].y) in = j;
+    }
+    // CCW corner order: west, south, east, north.
+    const Vec2 cw = points[iw];
+    const Vec2 cs = points[is];
+    const Vec2 ce = points[ie];
+    const Vec2 cn = points[in];
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const Vec2 p = points[j];
+      if (certainly_left(cw, cs, p) && certainly_left(cs, ce, p) &&
+          certainly_left(ce, cn, p) && certainly_left(cn, cw, p)) {
+        continue;
+      }
+      records.push_back((std::uint64_t{x_presort_key(p.x)} << 32) | j);
+    }
+  } else {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      records.push_back(
+          (std::uint64_t{x_presort_key(points[j].x)} << 32) | j);
+    }
+  }
+  const std::size_t kept = records.size();
+  util::sort_key32_records(records, tmp);
+  const auto exact_less = [&](std::uint64_t a, std::uint64_t b) {
+    const Vec2 pa = points[static_cast<std::uint32_t>(a)];
+    const Vec2 pb = points[static_cast<std::uint32_t>(b)];
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return static_cast<std::uint32_t>(a) < static_cast<std::uint32_t>(b);
+  };
+  const auto rec = [&](std::size_t k) {
+    return records.begin() + static_cast<std::ptrdiff_t>(k);
+  };
+  std::size_t run_begin = 0;
+  for (std::size_t k = 1; k < kept; ++k) {
+    if ((records[k] >> 32) != (records[run_begin] >> 32)) {
+      if (k - run_begin > 1) std::sort(rec(run_begin), rec(k), exact_less);
+      run_begin = k;
+    }
+  }
+  if (kept - run_begin > 1) {
+    std::sort(rec(run_begin), records.end(), exact_less);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(kept);
+  for (const std::uint64_t r : records) {
+    order.push_back(static_cast<std::uint32_t>(r));
+  }
   // Drop exact duplicates (keep the first occurrence in sorted order).
   order.erase(std::unique(order.begin(), order.end(),
                           [&](std::size_t i, std::size_t j) {
@@ -38,11 +142,11 @@ std::vector<std::size_t> convex_hull_indices(std::span<const Vec2> points) {
 
   std::vector<std::size_t> hull(2 * m);
   std::size_t k = 0;
-  // Lower hull.
+  // Lower hull. orient2d_inline keeps the stage-A filter in the loop.
   for (std::size_t idx = 0; idx < m; ++idx) {
     const std::size_t i = order[idx];
-    while (k >= 2 &&
-           orient2d(points[hull[k - 2]], points[hull[k - 1]], points[i]) <= 0) {
+    while (k >= 2 && orient2d_inline(points[hull[k - 2]], points[hull[k - 1]],
+                                     points[i]) <= 0) {
       --k;
     }
     hull[k++] = i;
@@ -52,7 +156,8 @@ std::vector<std::size_t> convex_hull_indices(std::span<const Vec2> points) {
   for (std::size_t idx = m - 1; idx-- > 0;) {
     const std::size_t i = order[idx];
     while (k >= lower_size &&
-           orient2d(points[hull[k - 2]], points[hull[k - 1]], points[i]) <= 0) {
+           orient2d_inline(points[hull[k - 2]], points[hull[k - 1]],
+                           points[i]) <= 0) {
       --k;
     }
     hull[k++] = i;

@@ -49,6 +49,32 @@ inline constexpr double kEpsilon = 0x1.0p-53;
 inline constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEpsilon) * kEpsilon;
 }  // namespace detail
 
+/// Inline variant of orient2d() — identical sign in every case (same
+/// stage-A filter, same exact expansion fallback), but with the filter
+/// expanded at the call site. Hot loops that issue millions of mostly
+/// well-conditioned queries (the convex-hull chain, the visibility gates)
+/// shed the out-of-line call this way; everything else should keep
+/// calling orient2d().
+[[nodiscard]] inline int orient2d_inline(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+  double detsum = 0.0;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = -detleft - detright;
+  } else {
+    // detleft rounded to zero: defer to the exact stage (mirrors orient2d).
+    return detail::orient2d_exact_sign(a, b, c);
+  }
+  const double errbound = detail::kCcwErrBoundA * detsum;
+  if (det >= errbound || -det >= errbound) return det > 0.0 ? 1 : -1;
+  return detail::orient2d_exact_sign(a, b, c);
+}
+
 /// Orientation sign of the triple (o, a, b) — identical in every case to
 /// orient2d(o, a, b) — given the PRECOMPUTED rounded differences
 /// da = a - o and db = b - o (the very values orient2d(a, b, o) forms

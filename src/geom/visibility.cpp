@@ -1,10 +1,10 @@
 #include "geom/visibility.hpp"
 
 #include "geom/predicates.hpp"
+#include "geom/visibility_detail.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <bit>
 
 namespace lumen::geom {
 
@@ -56,123 +56,11 @@ bool VisibilityGraph::complete() const noexcept {
 
 namespace {
 
-/// Half-plane index for the exact angular order around an origin:
-/// 0 for directions with angle in [0, pi) — dy > 0, or dy == 0 && dx > 0 —
-/// 1 otherwise. Opposite directions always land in different halves.
-inline std::uint8_t half_of(Vec2 d) noexcept {
-  if (d.y > 0.0) return 0;
-  if (d.y < 0.0) return 1;
-  return d.x > 0.0 ? 0 : 1;
-}
-
-/// Minimum observer count before compute_visibility fans out: below this
-/// the pool's task handshake costs more than the sweep itself.
-constexpr std::size_t kMinParallelObservers = 32;
-
-}  // namespace
-
-std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) {
-  VisibilityScratch scratch;
-  std::vector<std::size_t> visible;
-  visible_from(pts, i, scratch, visible);
-  return visible;
-}
-
-namespace {
-
-/// Emits the visible members of one equal-direction run [b, e): the exact
-/// nearest point plus everything coincident with it. A point strictly
-/// inside the open segment (o, target) lies on the same ray from o, so it
-/// belongs to the same run — which makes this emission exactly the naive
-/// blocking relation, and therefore symmetric (set_half relies on that).
-/// The rounded dist2 sort key only pre-orders the run; the nearest is
-/// re-derived with the exact on_segment_open predicate, so even adversarial
-/// dist2 rounding ties cannot pick the wrong survivor.
-void emit_run(std::span<const Vec2> pts, Vec2 o,
-              std::span<const AngularKey> keys, std::size_t b, std::size_t e,
-              std::vector<std::size_t>& out) {
-  if (e - b == 1) {
-    out.push_back(keys[b].index);
-    return;
-  }
-  std::size_t lead = b;
-  for (std::size_t m = b + 1; m < e; ++m) {
-    if (on_segment_open(o, pts[keys[lead].index], pts[keys[m].index])) {
-      lead = m;
-    }
-  }
-  const Vec2 nearest = pts[keys[lead].index];
-  for (std::size_t m = b; m < e; ++m) {
-    if (pts[keys[m].index] == nearest) out.push_back(keys[m].index);
-  }
-}
-
-/// Exact CCW sort of one half-plane's keys, then append each
-/// equal-direction run's visible members to `out`. Within one half no two
-/// directions are opposite, so orient2d alone orders them; the keyed
-/// predicate returns exactly orient2d(o, pts[a], pts[b]) (see
-/// orient2d_around), making the order bit-identical to the direct
-/// formulation. Runs never span the half-plane boundary (the halves hold
-/// no opposite or equal directions across each other), so per-half runs
-/// are complete.
-void sort_and_dedup_half(std::span<const Vec2> pts, Vec2 o,
-                         std::vector<AngularKey>& keys,
-                         std::vector<std::size_t>& out) {
-  std::sort(keys.begin(), keys.end(),
-            [&](const AngularKey& a, const AngularKey& b) {
-              const int orientation = orient2d_around(
-                  a.diff, b.diff, pts[a.index], pts[b.index], o);
-              if (orientation != 0) return orientation > 0;
-              if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
-              return a.index < b.index;  // Full ties: deterministic order.
-            });
-  std::size_t run_begin = 0;
-  for (std::size_t k = 1; k < keys.size(); ++k) {
-    if (orient2d_around(keys[k - 1].diff, keys[k].diff,
-                        pts[keys[k - 1].index], pts[keys[k].index], o) != 0) {
-      emit_run(pts, o, keys, run_begin, k, out);
-      run_begin = k;
-    }
-  }
-  if (!keys.empty()) emit_run(pts, o, keys, run_begin, keys.size(), out);
-}
-
-}  // namespace
-
-void visible_from(std::span<const Vec2> pts, std::size_t i,
-                  VisibilityScratch& scratch, std::vector<std::size_t>& out) {
-  const Vec2 o = pts[i];
-  const std::size_t n = pts.size();
-  // Build the sort keys in one pass: every subtraction, half-plane
-  // classification and squared norm the comparator and dedup pass will
-  // need, computed exactly once per point and partitioned by half-plane.
-  std::vector<AngularKey>& upper = scratch.upper;
-  std::vector<AngularKey>& lower = scratch.lower;
-  upper.clear();
-  lower.clear();
-  upper.reserve(n);
-  lower.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j == i || pts[j] == o) continue;
-    const Vec2 d = pts[j] - o;
-    const AngularKey key{d, norm_sq(d), static_cast<std::uint32_t>(j)};
-    if (half_of(d) == 0) {
-      upper.push_back(key);
-    } else {
-      lower.push_back(key);
-    }
-  }
-  out.clear();
-  out.reserve(upper.size() + lower.size());
-  sort_and_dedup_half(pts, o, upper, out);
-  sort_and_dedup_half(pts, o, lower, out);
-}
-
-VisibilityGraph compute_visibility(std::span<const Vec2> pts,
-                                   util::ThreadPool* pool) {
-  const std::size_t n = pts.size();
+template <class PtFn>
+VisibilityGraph compute_visibility_impl(const PtFn& pt, std::size_t n,
+                                        util::ThreadPool* pool) {
   VisibilityGraph g(n);
-  if (pool != nullptr && n >= kMinParallelObservers) {
+  if (pool != nullptr && n >= detail::kMinParallelObservers) {
     // Every observer writes only its own row; the per-observer relation is
     // exactly the (symmetric) naive blocking relation — see emit_run — so
     // the mirrored bits arrive from the mirrored sweeps and the result is
@@ -186,7 +74,7 @@ VisibilityGraph compute_visibility(std::span<const Vec2> pts,
         n,
         [&](std::size_t slot, std::size_t i) {
           ObserverScratch& s = slots[slot];
-          visible_from(pts, i, s.scratch, s.out);
+          detail::visible_from_impl(pt, n, i, s.scratch, s.out);
           for (const std::size_t j : s.out) g.set_half(i, j);
         },
         /*grain=*/4);
@@ -195,10 +83,47 @@ VisibilityGraph compute_visibility(std::span<const Vec2> pts,
   VisibilityScratch scratch;
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < n; ++i) {
-    visible_from(pts, i, scratch, out);
+    detail::visible_from_impl(pt, n, i, scratch, out);
     for (const std::size_t j : out) g.set_half(i, j);
   }
   return g;
+}
+
+}  // namespace
+
+std::vector<std::size_t> visible_from(std::span<const Vec2> pts, std::size_t i) {
+  VisibilityScratch scratch;
+  std::vector<std::size_t> visible;
+  visible_from(pts, i, scratch, visible);
+  return visible;
+}
+
+void visible_from(std::span<const Vec2> pts, std::size_t i,
+                  VisibilityScratch& scratch, std::vector<std::size_t>& out) {
+  detail::visible_from_impl([pts](std::size_t j) noexcept { return pts[j]; },
+                            pts.size(), i, scratch, out);
+}
+
+void visible_from(std::span<const double> xs, std::span<const double> ys,
+                  std::size_t i, VisibilityScratch& scratch,
+                  std::vector<std::size_t>& out) {
+  detail::visible_from_impl(
+      [xs, ys](std::size_t j) noexcept { return Vec2{xs[j], ys[j]}; },
+      xs.size(), i, scratch, out);
+}
+
+VisibilityGraph compute_visibility(std::span<const Vec2> pts,
+                                   util::ThreadPool* pool) {
+  return compute_visibility_impl([pts](std::size_t j) noexcept { return pts[j]; },
+                                 pts.size(), pool);
+}
+
+VisibilityGraph compute_visibility(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   util::ThreadPool* pool) {
+  return compute_visibility_impl(
+      [xs, ys](std::size_t j) noexcept { return Vec2{xs[j], ys[j]}; },
+      xs.size(), pool);
 }
 
 bool visible_naive(std::span<const Vec2> pts, std::size_t i, std::size_t j) {

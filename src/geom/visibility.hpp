@@ -7,12 +7,19 @@
 // other robots around the observer with an exact angular comparator
 // (O(n log n) per observer, O(n^2 log n) for the full graph) and keep, per
 // equal-direction run, the exact nearest robot plus anything coincident
-// with it. The sort runs over packed PRECOMPUTED key records (rounded
-// difference, squared norm, index) built once per observer and partitioned
-// by half-plane, so each comparison loads two contiguous records and runs
-// the two-multiplication stage-A filter of orient2d_around — exactness and
-// output are bit-identical to the direct orient2d formulation. A
-// brute-force O(n^3) checker is kept as the test oracle.
+// with it.
+//
+// The sort itself is two-tier. Each key carries a float diamond
+// pseudo-angle whose uncertainty (~3e-7, dominated by the f32 rounding) is
+// orders of magnitude below kSuspectEps; a 64-bit radix pass orders the
+// keys by that angle, and only "suspect groups" — maximal chains of keys
+// whose consecutive pseudo-angles sit within kSuspectEps — are re-sorted
+// with the exact orient2d_around comparator. Because the exact comparator
+// is a strict total order (orientation, then squared distance, then
+// index), the fixed-up sequence is the unique exact-sorted order, so the
+// output is bit-identical to a direct exact sort. Keys stream out of
+// either AoS (span of Vec2) or SoA (split x/y arrays) storage through one
+// shared kernel. A brute-force O(n^3) checker is kept as the test oracle.
 #pragma once
 
 #include "geom/vec2.hpp"
@@ -66,23 +73,30 @@ class VisibilityGraph {
   std::vector<std::uint64_t> bits_;
 };
 
-/// One precomputed angular-sort key: everything the comparator and the
-/// dedup pass need, packed so each comparison touches two contiguous
-/// records instead of re-deriving subtractions and half-plane indices.
+/// One precomputed angular-sort key: everything the radix presort, the
+/// exact comparator and the dedup pass need, packed into 32 bytes so each
+/// comparison touches two contiguous records instead of re-deriving
+/// subtractions and half-plane indices.
 struct AngularKey {
   Vec2 diff;            ///< pts[index] - observer, rounded once.
   double dist2;         ///< |diff|^2 for the same-ray tie-break.
+  float akey;           ///< Diamond pseudo-angle of diff within its half.
   std::uint32_t index;  ///< Original point id.
 };
 
-/// Reusable workspace for visible_from: the per-observer sort keys, built
-/// in one pass and partitioned by half-plane (angle in [0, pi) vs [pi,
-/// 2pi)) so the sort comparator never tests the half again. Holding one
-/// per caller (or per pool worker) makes the steady-state visibility sweep
-/// allocation-free: both buffers keep their capacity across calls.
+/// Reusable workspace for visible_from: the per-observer sort keys
+/// partitioned by half-plane (angle in [0, pi) vs [pi, 2pi)), plus the
+/// radix-sort order buffers. Holding one per caller (or per pool worker)
+/// makes the steady-state visibility sweep allocation-free: every buffer
+/// keeps its capacity across calls, including across ExecutionCore resets
+/// when the scratch is owned above the engine (see sim::LookArena).
 struct VisibilityScratch {
   std::vector<AngularKey> upper;  ///< Keys with direction angle in [0, pi).
   std::vector<AngularKey> lower;  ///< Keys with direction angle in [pi, 2pi).
+  std::vector<std::uint64_t> order;      ///< (akey bits << 32) | slot records.
+  std::vector<std::uint64_t> order_tmp;  ///< Radix ping-pong buffer.
+  std::vector<std::uint32_t> dirty;      ///< VisibilityCache: deduped dirty set.
+  std::vector<std::uint8_t> mark;        ///< VisibilityCache: membership mask.
 };
 
 /// Indices of the robots visible from observer `i` (excluding i itself).
@@ -93,17 +107,30 @@ struct VisibilityScratch {
 
 /// Buffer-reusing overload: fills `out` with the visible indices using
 /// `scratch` for the sort keys and workspace. Performs no heap allocation
-/// once both buffers have warmed to the point count. Produces exactly the
+/// once the buffers have warmed to the point count. Produces exactly the
 /// same index sequence as the allocating overload (which delegates to this
 /// one).
 void visible_from(std::span<const Vec2> pts, std::size_t i,
                   VisibilityScratch& scratch, std::vector<std::size_t>& out);
+
+/// SoA overload: identical output to the AoS form for pts[j] == {xs[j],
+/// ys[j]}; the key-build loop streams the split coordinate arrays
+/// directly, which is how the simulation's WorldState feeds the kernel
+/// without materialising Vec2 pairs.
+void visible_from(std::span<const double> xs, std::span<const double> ys,
+                  std::size_t i, VisibilityScratch& scratch,
+                  std::vector<std::size_t>& out);
 
 /// Full visibility graph, O(n^2 log n). With a pool, observers fan out
 /// across the workers (each task fills only its own rows, so the result is
 /// bit-identical to the serial sweep for any pool size); nullptr runs
 /// serially on the caller.
 [[nodiscard]] VisibilityGraph compute_visibility(std::span<const Vec2> pts,
+                                                 util::ThreadPool* pool = nullptr);
+
+/// SoA full graph; identical output to the AoS form.
+[[nodiscard]] VisibilityGraph compute_visibility(std::span<const double> xs,
+                                                 std::span<const double> ys,
                                                  util::ThreadPool* pool = nullptr);
 
 /// Brute-force oracle: is j visible from i? O(n) per query.

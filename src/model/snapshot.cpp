@@ -4,25 +4,10 @@
 
 namespace lumen::model {
 
-std::vector<geom::Vec2> Snapshot::all_positions() const {
-  std::vector<geom::Vec2> pts;
-  pts.reserve(visible.size() + 1);
-  pts.push_back(self_position());
-  for (const auto& e : visible) pts.push_back(e.position);
-  return pts;
-}
-
-std::vector<geom::Vec2> Snapshot::other_positions() const {
-  std::vector<geom::Vec2> pts;
-  pts.reserve(visible.size());
-  for (const auto& e : visible) pts.push_back(e.position);
-  return pts;
-}
-
 std::size_t Snapshot::count_light(Light l) const noexcept {
   std::size_t c = 0;
-  for (const auto& e : visible) {
-    if (e.light == l) ++c;
+  for (std::size_t k = 1; k < lights.size(); ++k) {
+    if (lights[k] == l) ++c;
   }
   return c;
 }
@@ -40,13 +25,34 @@ void build_snapshot(std::span<const geom::Vec2> positions,
                     std::span<const Light> lights, std::size_t observer,
                     const LocalFrame& frame, SnapshotScratch& scratch,
                     Snapshot& out) {
-  out.self_light = lights[observer];
   geom::visible_from(positions, observer, scratch.visibility,
                      scratch.visible_ids);
-  out.visible.clear();
-  out.visible.reserve(scratch.visible_ids.size());
+  out.reset(lights[observer]);
+  out.positions.reserve(scratch.visible_ids.size() + 1);
+  out.lights.reserve(scratch.visible_ids.size() + 1);
   for (const std::size_t j : scratch.visible_ids) {
-    out.visible.push_back(SnapshotEntry{frame.to_local(positions[j]), lights[j]});
+    out.push_visible(frame.to_local(positions[j]), lights[j]);
+  }
+}
+
+void build_snapshot(std::span<const double> xs, std::span<const double> ys,
+                    std::span<const Light> lights, std::size_t observer,
+                    const LocalFrame& frame, SnapshotScratch& scratch,
+                    Snapshot& out) {
+  geom::visible_from(xs, ys, observer, scratch.visibility,
+                     scratch.visible_ids);
+  fill_snapshot(xs, ys, lights, observer, scratch.visible_ids, frame, out);
+}
+
+void fill_snapshot(std::span<const double> xs, std::span<const double> ys,
+                   std::span<const Light> lights, std::size_t observer,
+                   std::span<const std::size_t> visible_ids,
+                   const LocalFrame& frame, Snapshot& out) {
+  out.reset(lights[observer]);
+  out.positions.reserve(visible_ids.size() + 1);
+  out.lights.reserve(visible_ids.size() + 1);
+  for (const std::size_t j : visible_ids) {
+    out.push_visible(frame.to_local(geom::Vec2{xs[j], ys[j]}), lights[j]);
   }
 }
 

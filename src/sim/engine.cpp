@@ -108,8 +108,11 @@ class AsyncDriver {
 
   RunResult run() {
     RunResult result;
-    const auto initial = core_.positions();
-    result.initial_positions.assign(initial.begin(), initial.end());
+    const WorldState& ws = core_.world_state();
+    result.initial_positions.resize(ws.size());
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      result.initial_positions[i] = ws.position(i);
+    }
     core_.notify_run_begin();
     const std::size_t n = core_.size();
     if (n == 0) {
@@ -223,8 +226,11 @@ class SyncDriver {
 
   RunResult run() {
     RunResult result;
-    const auto initial = core_.positions();
-    result.initial_positions.assign(initial.begin(), initial.end());
+    const WorldState& ws = core_.world_state();
+    result.initial_positions.resize(ws.size());
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      result.initial_positions[i] = ws.position(i);
+    }
     core_.notify_run_begin();
     const std::size_t n = core_.size();
     if (n == 0) {

@@ -3,6 +3,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace lumen::sim {
@@ -25,9 +26,7 @@ ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
       rng_(config.seed),
       epochs_(initial.size()),
       observers_(observers) {
-  positions_.assign(initial.begin(), initial.end());
-  lights_.assign(n_, model::Light::kOff);
-  moving_.assign(n_, 0);
+  world_.reset(initial);
   current_move_.assign(n_, MoveSegment{});
   cycle_start_.assign(n_, 0.0);
   look_time_.assign(n_, 0.0);
@@ -36,8 +35,13 @@ ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
   last_null_look_.assign(n_, -1.0);
   in_wait_.assign(n_, 1);
   lights_seen_[light_index(model::Light::kOff)] = true;
-  world_scratch_.assign(n_, geom::Vec2{});
-  snapshot_.visible.reserve(n_);
+  arena_ = config.arena != nullptr ? config.arena : &own_arena_;
+  // The look fill starts as a mirror of the committed coordinates; from here
+  // on fill_look_world / complete_move keep it coherent incrementally.
+  arena_->look_xs.assign(world_.xs().begin(), world_.xs().end());
+  arena_->look_ys.assign(world_.ys().begin(), world_.ys().end());
+  arena_->prev_movers.clear();
+  arena_->visibility_cache.reset(n_, config.visibility_cache_budget);
   // Fault streams are split() children of rng_, so an empty plan leaves
   // every existing stream untouched (bit-identity with fault-free runs).
   fault_.init(config.fault, rng_, n_);
@@ -77,11 +81,12 @@ void ExecutionCore::begin_cycle(std::size_t robot, double time) {
 
 bool ExecutionCore::crash_check(std::size_t robot, double time) {
   if (!fault_.try_crash(robot, time)) return false;
+  world_.kill(robot);
   fault::FaultEvent event;
   event.channel = fault::FaultChannel::kCrash;
   event.robot = robot;
   event.time = time;
-  event.position = positions_[robot];
+  event.position = world_.position(robot);
   for (RunObserver* o : observers_) o->on_fault(event, world(time));
   // The dead robot drops out of the epoch requirement: later epochs measure
   // survivor progress. Retiring the straggler can close pent-up epochs.
@@ -96,6 +101,7 @@ bool ExecutionCore::crash_check(std::size_t robot, double time) {
 }
 
 void ExecutionCore::notify_look_faults(std::size_t robot, double time,
+                                       geom::Vec2 position,
                                        const fault::LookFaultStats& stats) {
   if (!stats.any()) return;
   if (stats.corrupted != 0) {
@@ -103,7 +109,7 @@ void ExecutionCore::notify_look_faults(std::size_t robot, double time,
     event.channel = fault::FaultChannel::kLight;
     event.robot = robot;
     event.time = time;
-    event.position = world_scratch_[robot];
+    event.position = position;
     event.corrupted_reads = stats.corrupted;
     for (RunObserver* o : observers_) o->on_fault(event, world(time));
   }
@@ -112,34 +118,80 @@ void ExecutionCore::notify_look_faults(std::size_t robot, double time,
     event.channel = fault::FaultChannel::kNoise;
     event.robot = robot;
     event.time = time;
-    event.position = world_scratch_[robot];
+    event.position = position;
     event.dropped = stats.dropped;
     event.perturbed = stats.perturbed;
     for (RunObserver* o : observers_) o->on_fault(event, world(time));
   }
 }
 
+std::pair<std::span<const double>, std::span<const double>>
+ExecutionCore::fill_look_world(double t) {
+  LookArena& a = *arena_;
+  // Undo the previous fill's interpolations. Every other slot already holds
+  // the committed coordinate: set_position happens only in complete_move,
+  // which writes through to the fill arrays.
+  for (const std::uint32_t r : a.prev_movers) {
+    a.look_xs[r] = world_.xs()[r];
+    a.look_ys[r] = world_.ys()[r];
+  }
+  a.prev_movers.clear();
+  if (world_.moving_count() == 0) {
+    // Nobody mid-move (every SYNC Look): snapshot the committed arrays
+    // directly, no copy at all.
+    return {world_.xs(), world_.ys()};
+  }
+  const std::span<const std::uint64_t> words = world_.moving().words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const std::size_t r =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const geom::Vec2 p = current_move_[r].at(t);
+      a.look_xs[r] = p.x;
+      a.look_ys[r] = p.y;
+      a.prev_movers.push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  return {a.look_xs, a.look_ys};
+}
+
 void ExecutionCore::compute_pending(std::size_t robot,
                                     const model::LocalFrame& frame,
                                     std::uint64_t look_seq,
+                                    std::span<const double> xs,
+                                    std::span<const double> ys,
                                     model::SnapshotScratch& scratch,
                                     model::Snapshot& snap,
                                     fault::ViewScratch& view,
                                     fault::LookFaultStats& stats) {
-  if (!fault_.view_active()) {
-    model::build_snapshot(world_scratch_, lights_, robot, frame, scratch, snap);
-  } else {
+  const std::span<const model::Light> lights = world_.lights();
+  const bool noisy = fault_.view_active() && fault_.noise_active();
+  if (!noisy) {
+    geom::VisibilityCache& cache = arena_->visibility_cache;
+    if (cache.cached_observers() > 0) {
+      // Incremental path: replay/repair this observer's retained angular
+      // order against the committed-write log (bit-identical to the
+      // one-shot kernel; see geom::VisibilityCache).
+      cache.visible_from(xs, ys, robot, world_.write_log(),
+                         world_.moving_count(), scratch.visibility,
+                         scratch.visible_ids);
+      model::fill_snapshot(xs, ys, lights, robot, scratch.visible_ids, frame,
+                           snap);
+    } else {
+      model::build_snapshot(xs, ys, lights, robot, frame, scratch, snap);
+    }
+  }
+  if (fault_.view_active()) {
     // Corruption draws are a pure function of (seed, robot, look_seq), so
     // this stays safe and bit-identical under the parallel SYNC batch.
     util::Prng rng = fault_.look_rng(robot, look_seq);
     if (fault_.noise_active()) {
-      const std::size_t observer = fault_.make_noisy_view(
-          robot, rng, world_scratch_, lights_, view, stats);
-      model::build_snapshot(view.positions, view.lights, observer, frame,
+      const std::size_t observer =
+          fault_.make_noisy_view(robot, rng, xs, ys, lights, view, stats);
+      model::build_snapshot(view.xs, view.ys, view.lights, observer, frame,
                             scratch, snap);
-    } else {
-      model::build_snapshot(world_scratch_, lights_, robot, frame, scratch,
-                            snap);
     }
     fault_.corrupt_lights(rng, snap, stats);
     fault_.account(stats);
@@ -149,24 +201,22 @@ void ExecutionCore::compute_pending(std::size_t robot,
   const model::Action action = algo_.compute(snap);
   pending_[robot] = model::Action{frame.to_world(action.target), action.light};
   // Encode "stay" in world terms: a stay action keeps the world position.
-  if (!action.moves()) pending_[robot].target = world_scratch_[robot];
+  if (!action.moves()) pending_[robot].target = geom::Vec2{xs[robot], ys[robot]};
   pending_null_[robot] =
-      (!action.moves() && action.light == lights_[robot]) ? 1 : 0;
+      (!action.moves() && action.light == world_.light(robot)) ? 1 : 0;
 }
 
 void ExecutionCore::look(std::size_t robot, double time) {
   in_wait_[robot] = 0;
   look_time_[robot] = time;
   const std::uint64_t seq = look_seq_++;
-  // World positions at this instant (movers interpolated).
-  for (std::size_t j = 0; j < n_; ++j) {
-    world_scratch_[j] = position_at(j, time);
-  }
-  const model::LocalFrame frame = make_frame(robot, world_scratch_[robot]);
+  const auto [xs, ys] = fill_look_world(time);
+  const geom::Vec2 origin{xs[robot], ys[robot]};
+  const model::LocalFrame frame = make_frame(robot, origin);
   fault::LookFaultStats stats;
-  compute_pending(robot, frame, seq, snapshot_scratch_, snapshot_,
-                  view_scratch_, stats);
-  notify_look_faults(robot, time, stats);
+  compute_pending(robot, frame, seq, xs, ys, arena_->snapshot_scratch,
+                  arena_->snapshot, arena_->view_scratch, stats);
+  notify_look_faults(robot, time, origin, stats);
   for (RunObserver* o : observers_) o->on_look(robot, time, world(time));
 }
 
@@ -179,37 +229,40 @@ void ExecutionCore::look_batch(std::span<const std::size_t> robots, double time)
   // Serial prologue in `robots` order: the same state writes and frame-rng
   // draws, in the same order, as the serial loop above — the one world fill
   // suffices because nobody is mid-move between SYNC rounds, so every
-  // serial look() would fill an identical buffer.
-  for (std::size_t j = 0; j < n_; ++j) {
-    world_scratch_[j] = position_at(j, time);
-  }
-  frame_batch_.clear();
-  frame_batch_.reserve(robots.size());
-  seq_batch_.clear();
-  seq_batch_.reserve(robots.size());
-  batch_stats_.assign(robots.size(), fault::LookFaultStats{});
+  // serial look() would return identical spans (the committed arrays).
+  const auto [xs, ys] = fill_look_world(time);
+  LookArena& a = *arena_;
+  a.frames.clear();
+  a.frames.reserve(robots.size());
+  a.seqs.clear();
+  a.seqs.reserve(robots.size());
+  a.stats.assign(robots.size(), fault::LookFaultStats{});
   for (const std::size_t r : robots) {
     in_wait_[r] = 0;
     look_time_[r] = time;
-    frame_batch_.push_back(make_frame(r, world_scratch_[r]));
-    seq_batch_.push_back(look_seq_++);
+    a.frames.push_back(make_frame(r, geom::Vec2{xs[r], ys[r]}));
+    a.seqs.push_back(look_seq_++);
   }
   // Parallel Look + Compute: per-slot scratch, per-robot pending slots.
   // Thread interleaving cannot affect the result — Compute is pure, fault
-  // draws are keyed by the pre-assigned look sequence, and every write
-  // lands in the robot's own slot.
-  look_slots_.resize(pool->slot_count());
-  pool->parallel_for_slots(robots.size(), [&](std::size_t slot, std::size_t k) {
-    LookSlot& ls = look_slots_[slot];
-    compute_pending(robots[k], frame_batch_[k], seq_batch_[k], ls.scratch,
-                    ls.snapshot, ls.view, batch_stats_[k]);
+  // draws are keyed by the pre-assigned look sequence, the visibility cache
+  // touches only the observer's own entry, and every write lands in the
+  // robot's own slot.
+  a.slots.resize(pool->slot_count());
+  pool->parallel_for_slots(robots.size(), [&, xs = xs,
+                                           ys = ys](std::size_t slot,
+                                                    std::size_t k) {
+    LookSlot& ls = a.slots[slot];
+    compute_pending(robots[k], a.frames[k], a.seqs[k], xs, ys, ls.scratch,
+                    ls.snapshot, ls.view, a.stats[k]);
   });
   // Observers fire serially afterwards, in `robots` order: nothing a Look
   // mutates is visible through WorldView, so the delivered stream is
   // byte-identical to the serial loop's.
   for (std::size_t k = 0; k < robots.size(); ++k) {
-    notify_look_faults(robots[k], time, batch_stats_[k]);
-    for (RunObserver* o : observers_) o->on_look(robots[k], time, world(time));
+    const std::size_t r = robots[k];
+    notify_look_faults(r, time, geom::Vec2{xs[r], ys[r]}, a.stats[k]);
+    for (RunObserver* o : observers_) o->on_look(r, time, world(time));
   }
 }
 
@@ -227,10 +280,10 @@ geom::Vec2 ExecutionCore::apply_motion_adversary(geom::Vec2 from, geom::Vec2 to,
 bool ExecutionCore::commit_async(std::size_t robot, double now,
                                  double move_duration, util::Prng& motion_rng) {
   const model::Action action = pending_[robot];
-  const bool light_changed = lights_[robot] != action.light;
-  lights_[robot] = action.light;
+  const bool light_changed = world_.light(robot) != action.light;
+  world_.set_light(robot, action.light);
   lights_seen_[light_index(action.light)] = true;
-  const geom::Vec2 from = positions_[robot];
+  const geom::Vec2 from = world_.position(robot);
   const geom::Vec2 to = apply_motion_adversary(from, action.target, motion_rng);
   const double dist = geom::distance(from, to);
   if (light_changed) last_change_ = now;
@@ -244,7 +297,7 @@ bool ExecutionCore::commit_async(std::size_t robot, double now,
     last_change_ = now;
     current_move_[robot] =
         MoveSegment{robot, now, now + move_duration, from, to};
-    moving_[robot] = 1;
+    world_.begin_move(robot);
     event.move_started = &current_move_[robot];
   } else if (!light_changed) {
     // Null cycle: this Look observed a configuration the robot is content
@@ -258,12 +311,12 @@ bool ExecutionCore::commit_async(std::size_t robot, double now,
 bool ExecutionCore::commit_sync(std::size_t robot, double t0, double t1,
                                 util::Prng& motion_rng) {
   const model::Action action = pending_[robot];
-  const geom::Vec2 from = positions_[robot];
+  const geom::Vec2 from = world_.position(robot);
   geom::Vec2 to = action.target;
   if (to != from) to = apply_motion_adversary(from, to, motion_rng);
-  const bool light_changed = lights_[robot] != action.light;
+  const bool light_changed = world_.light(robot) != action.light;
   const bool moved = to != from;
-  lights_[robot] = action.light;
+  world_.set_light(robot, action.light);
   lights_seen_[light_index(action.light)] = true;
   CommitEvent event;
   event.robot = robot;
@@ -274,7 +327,7 @@ bool ExecutionCore::commit_sync(std::size_t robot, double t0, double t1,
     // Unit-interval segment; the position write waits for complete_move so
     // every robot in the round commits against the pre-round world.
     current_move_[robot] = MoveSegment{robot, t0, t1, from, to};
-    moving_[robot] = 1;
+    world_.begin_move(robot);
     event.move_started = &current_move_[robot];
   }
   if (light_changed) {
@@ -287,8 +340,14 @@ bool ExecutionCore::commit_sync(std::size_t robot, double t0, double t1,
 }
 
 void ExecutionCore::complete_move(std::size_t robot, double t) {
-  positions_[robot] = current_move_[robot].to;
-  moving_[robot] = 0;
+  const geom::Vec2 to = current_move_[robot].to;
+  world_.set_position(robot, to);
+  // Write through to the look fill: this robot may never be interpolated by
+  // a Look during its flight (so it never enters prev_movers), and after
+  // this commit its fill slot must already hold the new committed value.
+  arena_->look_xs[robot] = to.x;
+  arena_->look_ys[robot] = to.y;
+  world_.end_move(robot);
   ++total_moves_;
   total_distance_ += current_move_[robot].length();
   last_change_ = t;
@@ -314,7 +373,7 @@ bool ExecutionCore::quiescent_async() const noexcept {
     // Crashed robots execute no further cycles: quiescence is over the
     // survivors (a fully-crashed swarm is trivially quiescent).
     if (fault_.crashed(i)) continue;
-    if (moving_[i] != 0) return false;
+    if (world_.is_moving(i)) return false;
     if (in_wait_[i] == 0 && pending_null_[i] == 0) return false;
     if (last_null_look_[i] < last_change_) return false;
   }
@@ -331,9 +390,10 @@ bool ExecutionCore::quiescent_sync() const noexcept {
 
 WorldView ExecutionCore::world(double time) const noexcept {
   WorldView view;
-  view.positions = positions_;
-  view.lights = lights_;
-  view.moving = moving_;
+  view.xs = world_.xs();
+  view.ys = world_.ys();
+  view.lights = world_.lights();
+  view.moving_words = world_.moving().words();
   view.current_moves = current_move_;
   view.time = time;
   return view;
@@ -371,8 +431,11 @@ void ExecutionCore::finalize(RunResult& result, bool converged,
   result.total_cycles = total_cycles_;
   result.total_moves = total_moves_;
   result.total_distance = total_distance_;
-  result.final_positions = positions_;
-  result.final_lights = lights_;
+  result.final_positions.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    result.final_positions[i] = world_.position(i);
+  }
+  result.final_lights.assign(world_.lights().begin(), world_.lights().end());
   for (std::size_t i = 0; i < lights_seen_.size(); ++i) {
     if (lights_seen_[i]) result.lights_seen[i] = true;
   }

@@ -1,13 +1,24 @@
 // lumen_sim: the shared execution core behind both engines.
 //
 // ExecutionCore owns everything the ASYNC event loop and the SYNC round loop
-// used to duplicate: the world state (positions, lights, moves in flight),
-// the local-frame policy, the non-rigid motion adversary, streaming result
-// accounting (cycles, epochs, move totals, lights audit) and the observer
-// fan-out. The engines in engine.cpp reduce to thin drivers that own only
-// their scheduling shape — an event queue with a timing adversary (ASYNC)
-// or an activation policy over unit rounds (SYNC) — and call into the core
-// for every Look / commit / move completion.
+// used to duplicate: the world state (a structure-of-arrays WorldState:
+// split x/y coordinate arrays, packed lights, alive and move-in-flight
+// bitsets, and the committed-write log), the local-frame policy, the
+// non-rigid motion adversary, streaming result accounting (cycles, epochs,
+// move totals, lights audit) and the observer fan-out. The engines in
+// engine.cpp reduce to thin drivers that own only their scheduling shape —
+// an event queue with a timing adversary (ASYNC) or an activation policy
+// over unit rounds (SYNC) — and call into the core for every Look / commit
+// / move completion.
+//
+// The Look path streams the SoA arrays end to end: fill_look_world patches
+// only the in-flight movers over the committed arrays (aliasing them
+// outright when nobody moves, which is every SYNC Look), the visibility
+// sweep reads split doubles, and the per-observer incremental cache
+// (geom::VisibilityCache, budgeted via RunConfig) repairs cached angular
+// orders from the write log instead of resorting. All Look scratch lives
+// in a LookArena — private by default, shareable across runs through
+// RunConfig::arena so campaign cells keep warmed capacity.
 //
 // The core is deliberately scheduling-agnostic: commit_async and commit_sync
 // differ only in how time is stamped (commit instant + sampled duration vs
@@ -25,7 +36,9 @@
 #include "model/frame.hpp"
 #include "model/snapshot.hpp"
 #include "sched/epoch.hpp"
+#include "sim/look_arena.hpp"
 #include "sim/run.hpp"
+#include "sim/world_state.hpp"
 #include "util/prng.hpp"
 
 #include <array>
@@ -33,6 +46,7 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace lumen::sim {
@@ -45,9 +59,7 @@ class ExecutionCore {
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] std::size_t total_cycles() const noexcept { return total_cycles_; }
-  [[nodiscard]] std::span<const geom::Vec2> positions() const noexcept {
-    return positions_;
-  }
+  [[nodiscard]] const WorldState& world_state() const noexcept { return world_; }
 
   /// Derives a named substream from the master seed (pure; the driver
   /// controls which streams exist and in what roles, as the engines did).
@@ -88,8 +100,9 @@ class ExecutionCore {
 
   /// Look + Compute at `time`: snapshots the instantaneous world (movers
   /// interpolated), runs the algorithm and parks the world-frame action as
-  /// pending. Allocation-free in steady state: the world buffer, the
-  /// visibility scratch and the Snapshot are all reused across Looks.
+  /// pending. Allocation-free in steady state: the world fill, the
+  /// visibility scratch and the Snapshot all live in the arena and are
+  /// reused across Looks (and across runs when the arena is shared).
   void look(std::size_t robot, double time);
 
   /// Batched Look + Compute for a SYNC round: every robot in `robots`
@@ -142,9 +155,15 @@ class ExecutionCore {
   void finalize(RunResult& result, bool converged, double final_time) const;
 
  private:
-  [[nodiscard]] geom::Vec2 position_at(std::size_t robot, double t) const noexcept {
-    return moving_[robot] != 0 ? current_move_[robot].at(t) : positions_[robot];
-  }
+  /// Refreshes the arena's interpolated world fill for a Look at `t` and
+  /// returns the coordinate spans to snapshot. O(#movers now + #movers at
+  /// the previous fill): the arrays mirror the committed coordinates
+  /// everywhere except the slots the previous fill interpolated (listed in
+  /// arena.prev_movers, restored here) — complete_move writes through, so
+  /// no other slot can go stale. When nobody is mid-move the committed
+  /// arrays are returned directly and the fill is untouched.
+  [[nodiscard]] std::pair<std::span<const double>, std::span<const double>>
+  fill_look_world(double t);
 
   /// Non-rigid stopping: the robot always progresses by at least
   /// min(nonrigid_min_progress, the full distance); rigid moves pass through.
@@ -153,20 +172,23 @@ class ExecutionCore {
 
   [[nodiscard]] model::LocalFrame make_frame(std::size_t robot, geom::Vec2 origin);
 
-  /// The pure per-robot slice of a Look: snapshot world_scratch_ through
-  /// `frame` (possibly through the fault plan's corrupted view, whose draws
-  /// depend only on (robot, look_seq)), run Compute, park the world-frame
-  /// action in robot's pending slot. Reads only shared immutable state +
-  /// the given scratch, so look_batch may run it concurrently for distinct
-  /// robots.
+  /// The pure per-robot slice of a Look: snapshot the xs/ys world arrays
+  /// through `frame` (possibly through the fault plan's corrupted view,
+  /// whose draws depend only on (robot, look_seq)), run Compute, park the
+  /// world-frame action in robot's pending slot. Reads only shared
+  /// immutable state + the given scratch (the visibility cache entry for
+  /// `robot` is owned by this call), so look_batch may run it concurrently
+  /// for distinct robots.
   void compute_pending(std::size_t robot, const model::LocalFrame& frame,
-                       std::uint64_t look_seq, model::SnapshotScratch& scratch,
-                       model::Snapshot& snap, fault::ViewScratch& view,
-                       fault::LookFaultStats& stats);
+                       std::uint64_t look_seq, std::span<const double> xs,
+                       std::span<const double> ys,
+                       model::SnapshotScratch& scratch, model::Snapshot& snap,
+                       fault::ViewScratch& view, fault::LookFaultStats& stats);
 
   /// Fires the per-Look fault events (at most one per channel) for the
   /// stats gathered by compute_pending; serial, right before on_look.
-  void notify_look_faults(std::size_t robot, double time,
+  /// `position` is the observer's (possibly interpolated) Look position.
+  void notify_look_faults(std::size_t robot, double time, geom::Vec2 position,
                           const fault::LookFaultStats& stats);
 
   void notify_commit(const CommitEvent& event, double time);
@@ -190,9 +212,8 @@ class ExecutionCore {
   std::size_t total_moves_ = 0;
   double total_distance_ = 0.0;
 
-  std::vector<geom::Vec2> positions_;
-  std::vector<model::Light> lights_;
-  std::vector<std::uint8_t> moving_;
+  // Hot per-robot state, structure-of-arrays (see world_state.hpp).
+  WorldState world_;
   std::vector<MoveSegment> current_move_;
   std::vector<double> cycle_start_;
   std::vector<double> look_time_;
@@ -216,24 +237,10 @@ class ExecutionCore {
   // thread interleaving.
   std::uint64_t look_seq_ = 0;
 
-  // Look-path scratch (reused; no steady-state allocation).
-  std::vector<geom::Vec2> world_scratch_;
-  model::SnapshotScratch snapshot_scratch_;
-  model::Snapshot snapshot_;
-  fault::ViewScratch view_scratch_;
-
-  // look_batch scratch: one snapshot workspace per pool slot (tasks with
-  // the same slot never run concurrently) plus the round's pre-drawn
-  // frames and look sequence numbers, aligned with the `robots` argument.
-  struct LookSlot {
-    model::SnapshotScratch scratch;
-    model::Snapshot snapshot;
-    fault::ViewScratch view;
-  };
-  std::vector<LookSlot> look_slots_;
-  std::vector<model::LocalFrame> frame_batch_;
-  std::vector<std::uint64_t> seq_batch_;
-  std::vector<fault::LookFaultStats> batch_stats_;
+  // Look-path workspace: the shared arena when RunConfig::arena is set,
+  // otherwise this run's private one.
+  LookArena own_arena_;
+  LookArena* arena_ = nullptr;
 };
 
 }  // namespace lumen::sim

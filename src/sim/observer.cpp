@@ -22,7 +22,9 @@ HullSample hull_census(double time, std::span<const geom::Vec2> positions) {
 }  // namespace
 
 void HullHistoryRecorder::on_run_begin(const WorldView& world) {
-  samples_.push_back(hull_census(0.0, world.positions));
+  // Nobody is mid-move at t = 0, so this materialises the committed
+  // configuration exactly as the historical AoS view did.
+  sample(0.0, world);
 }
 
 void HullHistoryRecorder::on_move_complete(const MoveSegment& move,

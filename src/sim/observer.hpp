@@ -42,19 +42,30 @@ struct HullSample {
 };
 
 /// Read-only view of the live world state, valid for the duration of one
-/// observer hook. `positions[i]` is robot i's last COMMITTED position;
-/// `position_at` interpolates robots that are mid-move (ASYNC).
+/// observer hook. Coordinates come as the engine's split SoA arrays —
+/// `position(i)` re-pairs robot i's last COMMITTED position; `position_at`
+/// interpolates robots that are mid-move (ASYNC). `moving_words` is the
+/// packed in-flight bitset (64 robots per word, bit i of word i/64).
 struct WorldView {
-  std::span<const geom::Vec2> positions;
+  std::span<const double> xs;
+  std::span<const double> ys;
   std::span<const model::Light> lights;
-  std::span<const std::uint8_t> moving;        ///< 1 iff robot is mid-move.
-  std::span<const MoveSegment> current_moves;  ///< Valid where moving[i] != 0.
-  double time = 0.0;                           ///< Hook's simulated time.
+  std::span<const std::uint64_t> moving_words;  ///< Packed mid-move bits.
+  std::span<const MoveSegment> current_moves;   ///< Valid where is_moving(i).
+  double time = 0.0;                            ///< Hook's simulated time.
 
-  [[nodiscard]] std::size_t size() const noexcept { return positions.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return xs.size(); }
+
+  [[nodiscard]] geom::Vec2 position(std::size_t i) const noexcept {
+    return geom::Vec2{xs[i], ys[i]};
+  }
+
+  [[nodiscard]] bool is_moving(std::size_t i) const noexcept {
+    return ((moving_words[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
 
   [[nodiscard]] geom::Vec2 position_at(std::size_t i, double t) const noexcept {
-    return moving[i] != 0 ? current_moves[i].at(t) : positions[i];
+    return is_moving(i) ? current_moves[i].at(t) : position(i);
   }
 };
 

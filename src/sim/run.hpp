@@ -29,6 +29,8 @@ class ThreadPool;
 
 namespace lumen::sim {
 
+struct LookArena;
+
 enum class SchedulerKind { kFsync, kSsync, kAsync };
 
 [[nodiscard]] std::string_view to_string(SchedulerKind k) noexcept;
@@ -114,6 +116,19 @@ struct RunConfig {
   /// intra-run batch to parallelize (DESIGN.md §10). Not serialized by
   /// config_io (a pool is a process-local resource, not configuration).
   util::ThreadPool* pool = nullptr;
+  /// Optional cross-run Look workspace (non-owning; nullptr = the engine
+  /// uses a private arena). Campaign workers pass one arena for all their
+  /// cells so visibility scratch and cache capacity survive engine resets.
+  /// Results are bit-identical with and without a shared arena. Not
+  /// serialized by config_io (a process-local resource, like `pool`).
+  LookArena* arena = nullptr;
+  /// Byte budget for the incremental visibility cache (see
+  /// geom::VisibilityCache): per-observer sorted angular orders are
+  /// retained and repaired from the world's write log instead of rebuilt
+  /// every Look. 0 disables caching. The cache is bit-identity-preserving
+  /// by construction, so this knob trades memory for Look time only.
+  /// Not serialized by config_io while it is a pure performance knob.
+  std::size_t visibility_cache_budget = 256u << 20;
   /// Fault injection plan (crash-stop / light corruption / sensor noise;
   /// see fault/plan.hpp). The default (empty) plan is bit-identical to the
   /// pre-fault engine on every scheduler and pool size. Serialized by

@@ -10,7 +10,7 @@ namespace lumen::sim {
 void StreamingCollisionMonitor::on_run_begin(const WorldView& world) {
   robots_.assign(world.size(), RobotState{});
   for (std::size_t i = 0; i < world.size(); ++i) {
-    robots_[i].idle_pos = world.positions[i];
+    robots_[i].idle_pos = world.position(i);
   }
   report_ = CollisionReport{};
   sealed_ = false;

@@ -1,0 +1,92 @@
+// lumen_util: a flat dynamic bitset stored as 64-bit words.
+//
+// The simulation keeps per-robot boolean state (alive, move-in-flight) hot
+// on the Look path; packing it 64 robots to the word keeps the whole flag
+// set of even a 10^5-robot swarm inside a few cache lines and lets
+// population counts run word-at-a-time. Tail bits beyond size() are kept
+// zero as a class invariant, so count()/any() never mask per call.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lumen::util {
+
+class DynamicBitset {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n, bool value = false) { assign(n, value); }
+
+  /// Resizes to `n` bits, all set to `value`. Keeps word capacity.
+  void assign(std::size_t n, bool value) {
+    n_ = n;
+    const std::uint64_t fill = value ? ~std::uint64_t{0} : 0;
+    words_.assign(word_count(n), fill);
+    clear_tail();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return ((words_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+
+  void set(std::size_t i, bool value = true) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void reset(std::size_t i) noexcept { set(i, false); }
+
+  /// Number of set bits. O(size / 64).
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) {
+      c += static_cast<std::size_t>(std::popcount(w));
+    }
+    return c;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// Raw word storage (tail bits beyond size() are zero). Observers hand
+  /// these words out in read-only views; word i holds bits [64i, 64i+64).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  [[nodiscard]] static std::size_t word_count(std::size_t bits) noexcept {
+    return (bits + kWordBits - 1) / kWordBits;
+  }
+
+ private:
+  /// Re-establishes the all-zero-tail invariant after a bulk fill.
+  void clear_tail() noexcept {
+    const std::size_t tail = n_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lumen::util

@@ -1,0 +1,68 @@
+// lumen_util: LSD radix sort for packed (key << 32 | slot) records.
+//
+// The geometry kernels presort by a 32-bit approximate key (a float
+// pseudo-angle, a rounded coordinate) with the element's slot id packed
+// into the low half. Sorting the full 64-bit word ascending then means
+// "by key, ties in slot order" — and because callers append records in
+// ascending slot order, a STABLE sort over just the key bytes produces
+// exactly that order without ever touching the low half. Four LSD
+// counting passes over the high 32 bits do the job in O(n) with no
+// comparisons; identity passes (every record sharing a key byte, common
+// for float exponent bytes of clustered data) are detected from the
+// histogram and skipped.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lumen::util {
+
+/// Below this many records a plain comparison sort of the packed words
+/// beats the radix passes.
+inline constexpr std::size_t kRadixMinRecords = 96;
+
+/// Sorts `records` ascending by full 64-bit value. Precondition: records
+/// were appended with low-32 slots in ascending order (the stable radix
+/// path never inspects the low half and relies on it). `tmp` is the
+/// ping-pong buffer; it keeps its capacity across calls.
+inline void sort_key32_records(std::vector<std::uint64_t>& records,
+                               std::vector<std::uint64_t>& tmp) {
+  const std::size_t m = records.size();
+  if (m < kRadixMinRecords) {
+    std::sort(records.begin(), records.end());
+    return;
+  }
+  tmp.resize(m);
+  std::uint64_t* src = records.data();
+  std::uint64_t* dst = tmp.data();
+  int passes_done = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    const int shift = 32 + 8 * pass;
+    std::array<std::size_t, 256> count{};
+    for (std::size_t k = 0; k < m; ++k) {
+      ++count[static_cast<std::size_t>((src[k] >> shift) & 0xff)];
+    }
+    if (count[static_cast<std::size_t>((src[0] >> shift) & 0xff)] == m) {
+      continue;  // Identity pass: every record shares this byte.
+    }
+    std::size_t sum = 0;
+    for (std::size_t& c : count) {
+      const std::size_t this_bucket = c;
+      c = sum;
+      sum += this_bucket;
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      dst[count[static_cast<std::size_t>((src[k] >> shift) & 0xff)]++] = src[k];
+    }
+    std::swap(src, dst);
+    ++passes_done;
+  }
+  if (passes_done % 2 != 0) {
+    std::copy(tmp.begin(), tmp.end(), records.begin());
+  }
+}
+
+}  // namespace lumen::util

@@ -17,12 +17,18 @@ using geom::Vec2;
 using model::Action;
 using model::Light;
 using model::Snapshot;
-using model::SnapshotEntry;
+
+struct SnapshotEntry {
+  Vec2 position;
+  Light light;
+};
 
 Snapshot make_snapshot(Light self, std::vector<SnapshotEntry> visible) {
   Snapshot snap;
-  snap.self_light = self;
-  snap.visible = std::move(visible);
+  snap.reset(self);
+  for (const SnapshotEntry& e : visible) {
+    snap.push_visible(e.position, e.light);
+  }
   return snap;
 }
 

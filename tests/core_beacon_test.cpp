@@ -18,10 +18,20 @@ namespace {
 using geom::Vec2;
 using model::Light;
 
-LocalView view_of(const std::vector<Vec2>& world, std::size_t observer) {
+/// Owns the snapshot the LocalView's spans alias: build_view borrows the
+/// snapshot arrays instead of copying them, so the snapshot must outlive
+/// the view. Vector moves keep heap buffers, so returning by value is safe.
+struct OwnedView : LocalView {
+  model::Snapshot snap;
+};
+
+OwnedView view_of(const std::vector<Vec2>& world, std::size_t observer) {
   const model::LocalFrame frame{world[observer], 0.0, 1.0, false};
-  return build_view(model::build_snapshot(
-      world, std::vector<Light>(world.size(), Light::kOff), observer, frame));
+  OwnedView v;
+  v.snap = model::build_snapshot(
+      world, std::vector<Light>(world.size(), Light::kOff), observer, frame);
+  static_cast<LocalView&>(v) = build_view(v.snap);
+  return v;
 }
 
 TEST(InteriorInsertion, TargetOutsideGateKeepsHullStrict) {
@@ -182,9 +192,11 @@ TEST(LineEscape, PerpendicularByQuarterOfNearestDistance) {
 }
 
 TEST(LineEscape, AloneStaysPut) {
+  const std::vector<Vec2> pts = {Vec2{}};
+  const std::vector<Light> lights = {Light::kOff};
   LocalView view;
-  view.pts = {Vec2{}};
-  view.lights = {Light::kOff};
+  view.pts = pts;
+  view.lights = lights;
   EXPECT_EQ(line_escape_target(view), (Vec2{}));
 }
 
@@ -194,8 +206,8 @@ TEST(PlanExits, PerpendicularPlansNearestFirstWithValidFeet) {
   std::vector<Light> lights(world.size(), Light::kCorner);
   lights[0] = Light::kInterior;
   const model::LocalFrame frame{world[0], 0.0, 1.0, false};
-  const auto view =
-      build_view(model::build_snapshot(world, lights, 0, frame));
+  const auto snap = model::build_snapshot(world, lights, 0, frame);
+  const auto view = build_view(snap);
   const auto plans = plan_exits(view, view.self());
   ASSERT_FALSE(plans.empty());
   // Nearest-first ordering.
@@ -214,8 +226,9 @@ TEST(PlanExits, PerpendicularPlansNearestFirstWithValidFeet) {
 TEST(PlanExits, RequiresCornerLitAnchors) {
   const std::vector<Vec2> world = {{5, 2}, {0, 0}, {10, 0}, {10, 10}, {0, 10}};
   const model::LocalFrame frame{world[0], 0.0, 1.0, false};
-  const auto view = build_view(model::build_snapshot(
-      world, std::vector<Light>(world.size(), Light::kOff), 0, frame));
+  const auto snap = model::build_snapshot(
+      world, std::vector<Light>(world.size(), Light::kOff), 0, frame);
+  const auto view = build_view(snap);
   EXPECT_TRUE(plan_exits(view, view.self()).empty());
 }
 
@@ -227,8 +240,8 @@ TEST(PlanExits, FootOutsideBandSkipsThatEdge) {
   std::vector<Light> lights(world.size(), Light::kCorner);
   lights[0] = Light::kInterior;
   const model::LocalFrame frame{world[0], 0.0, 1.0, false};
-  const auto view =
-      build_view(model::build_snapshot(world, lights, 0, frame));
+  const auto snap = model::build_snapshot(world, lights, 0, frame);
+  const auto view = build_view(snap);
   for (const auto& plan : plan_exits(view, view.self())) {
     // Local frame: the bottom edge lies at y == -1.5.
     const bool is_bottom =
@@ -255,8 +268,8 @@ TEST(PlanExits, TargetsExtendHullStrictly) {
     std::vector<Light> lights(world.size(), Light::kCorner);
     lights[interior] = Light::kInterior;
     const model::LocalFrame frame{world[interior], 0.0, 1.0, false};
-    const auto view =
-        build_view(model::build_snapshot(world, lights, interior, frame));
+    const auto snap = model::build_snapshot(world, lights, interior, frame);
+    const auto view = build_view(snap);
     if (view.role != Role::kInterior) continue;
     for (const auto& plan : plan_exits(view, view.self())) {
       ++tested;
@@ -270,9 +283,12 @@ TEST(PlanExits, TargetsExtendHullStrictly) {
 }
 
 TEST(InteriorInsertion, DegenerateGateRejected) {
+  const std::vector<Vec2> pts = {Vec2{}, Vec2{1, 1}, Vec2{1, 1}};
+  const std::vector<Light> lights = {Light::kOff, Light::kCorner,
+                                     Light::kCorner};
   LocalView view;
-  view.pts = {Vec2{}, Vec2{1, 1}, Vec2{1, 1}};
-  view.lights = {Light::kOff, Light::kCorner, Light::kCorner};
+  view.pts = pts;
+  view.lights = lights;
   const GateEdge gate{1, 2, {1, 1}, {1, 1}, 0.0};
   EXPECT_FALSE(interior_insertion_target(view, gate).has_value());
   EXPECT_FALSE(side_popout_target(view, gate).has_value());

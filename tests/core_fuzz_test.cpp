@@ -22,22 +22,21 @@ using model::Snapshot;
 
 Snapshot random_snapshot(util::Prng& rng) {
   Snapshot snap;
-  snap.self_light = model::kAllLights[rng.next_below(model::kLightCount)];
+  snap.reset(model::kAllLights[rng.next_below(model::kLightCount)]);
   const std::size_t n = rng.next_below(24);
-  snap.visible.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     Vec2 p{rng.uniform(-50, 50), rng.uniform(-50, 50)};
     // Occasionally inject structured degeneracies.
-    if (rng.bernoulli(0.15) && !snap.visible.empty()) {
-      const auto& prev = snap.visible[rng.next_below(snap.visible.size())];
+    if (rng.bernoulli(0.15) && snap.visible_count() > 0) {
+      const auto others = snap.other_positions();
+      const Vec2 prev = others[rng.next_below(others.size())];
       if (rng.bernoulli(0.5)) {
-        p = prev.position;  // Coincident robots (a collision state).
+        p = prev;  // Coincident robots (a collision state).
       } else {
-        p = prev.position * rng.uniform(0.1, 2.0);  // Collinear with origin.
+        p = prev * rng.uniform(0.1, 2.0);  // Collinear with origin.
       }
     }
-    snap.visible.push_back(
-        {p, model::kAllLights[rng.next_below(model::kLightCount)]});
+    snap.push_visible(p, model::kAllLights[rng.next_below(model::kLightCount)]);
   }
   return snap;
 }
@@ -64,8 +63,8 @@ TEST_P(AlgorithmFuzzTest, TotalDeterministicAndPaletteClosed) {
     // A move must never aim at a visible robot's exact position (it would
     // be a guaranteed collision).
     if (a.moves()) {
-      for (const auto& e : snap.visible) {
-        ASSERT_NE(a.target, e.position) << "iter " << iter;
+      for (const Vec2& p : snap.other_positions()) {
+        ASSERT_NE(a.target, p) << "iter " << iter;
       }
     }
   }
@@ -79,8 +78,8 @@ TEST_P(AlgorithmFuzzTest, BoundedTargets) {
   for (int iter = 0; iter < 2000; ++iter) {
     const Snapshot snap = random_snapshot(rng);
     double extent = 1.0;
-    for (const auto& e : snap.visible) {
-      extent = std::max(extent, geom::norm(e.position));
+    for (const Vec2& p : snap.other_positions()) {
+      extent = std::max(extent, geom::norm(p));
     }
     const auto action = algo->compute(snap);
     if (action.moves()) {

@@ -16,15 +16,25 @@ namespace {
 using geom::Vec2;
 using model::Light;
 
+/// Owns the snapshot the LocalView's spans alias: build_view borrows the
+/// snapshot arrays instead of copying them, so the snapshot must outlive
+/// the view. Vector moves keep heap buffers, so returning by value is safe.
+struct OwnedView : LocalView {
+  model::Snapshot snap;
+};
+
 /// Builds the observer's view of a world configuration with an identity
 /// robot-centered frame and given lights.
-LocalView view_of(const std::vector<Vec2>& world, const std::vector<Light>& lights,
+OwnedView view_of(const std::vector<Vec2>& world, const std::vector<Light>& lights,
                   std::size_t observer) {
   const model::LocalFrame frame{world[observer], 0.0, 1.0, false};
-  return build_view(model::build_snapshot(world, lights, observer, frame));
+  OwnedView v;
+  v.snap = model::build_snapshot(world, lights, observer, frame);
+  static_cast<LocalView&>(v) = build_view(v.snap);
+  return v;
 }
 
-LocalView view_of(const std::vector<Vec2>& world, std::size_t observer) {
+OwnedView view_of(const std::vector<Vec2>& world, std::size_t observer) {
   return view_of(world, std::vector<Light>(world.size(), Light::kOff), observer);
 }
 
@@ -71,8 +81,8 @@ TEST(BuildView, LineRoleSurvivesRandomFrames) {
   for (int trial = 0; trial < 40; ++trial) {
     const std::size_t observer = 1 + rng.next_below(7);
     const auto frame = model::LocalFrame::random(world[observer], rng);
-    const auto view =
-        build_view(model::build_snapshot(world, lights, observer, frame));
+    const auto snap = model::build_snapshot(world, lights, observer, frame);
+    const auto view = build_view(snap);
     EXPECT_EQ(view.role, Role::kLine) << "trial " << trial;
   }
 }

@@ -196,20 +196,23 @@ TEST(FaultState, NoisyViewKeepsObserverExactAndCountsPerturbations) {
   plan.noise.sigma = 0.25;
   FaultState state;
   state.init(plan, util::Prng{7}, 4);
-  const std::vector<geom::Vec2> world = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const std::vector<double> xs = {0, 1, 0, 1};
+  const std::vector<double> ys = {0, 0, 1, 1};
   const std::vector<model::Light> lights(4, model::Light::kCorner);
   ViewScratch view;
   LookFaultStats stats;
   util::Prng rng = state.look_rng(1, 0);
-  const std::size_t self = state.make_noisy_view(1, rng, world, lights, view,
-                                                 stats);
-  ASSERT_EQ(view.positions.size(), 4u);
-  EXPECT_EQ(view.positions[self], world[1]);  // Observer untouched.
-  EXPECT_EQ(stats.dropped, 0u);               // dropout == 0: nobody vanishes.
+  const std::size_t self =
+      state.make_noisy_view(1, rng, xs, ys, lights, view, stats);
+  ASSERT_EQ(view.xs.size(), 4u);
+  ASSERT_EQ(view.ys.size(), 4u);
+  EXPECT_EQ(view.xs[self], xs[1]);  // Observer untouched.
+  EXPECT_EQ(view.ys[self], ys[1]);
+  EXPECT_EQ(stats.dropped, 0u);     // dropout == 0: nobody vanishes.
   EXPECT_EQ(stats.perturbed, 3u);
   for (std::size_t j = 0; j < 4; ++j) {
     if (j == self) continue;
-    EXPECT_NE(view.positions[j], world[j]) << j;
+    EXPECT_TRUE(view.xs[j] != xs[j] || view.ys[j] != ys[j]) << j;
   }
 }
 
@@ -218,16 +221,18 @@ TEST(FaultState, FullDropoutLeavesOnlyTheObserver) {
   plan.noise.dropout = 1.0;
   FaultState state;
   state.init(plan, util::Prng{7}, 5);
-  const std::vector<geom::Vec2> world = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  const std::vector<double> ys = {0, 0, 0, 0, 0};
   const std::vector<model::Light> lights(5, model::Light::kOff);
   ViewScratch view;
   LookFaultStats stats;
   util::Prng rng = state.look_rng(2, 0);
-  const std::size_t self = state.make_noisy_view(2, rng, world, lights, view,
-                                                 stats);
-  ASSERT_EQ(view.positions.size(), 1u);
+  const std::size_t self =
+      state.make_noisy_view(2, rng, xs, ys, lights, view, stats);
+  ASSERT_EQ(view.xs.size(), 1u);
   EXPECT_EQ(self, 0u);
-  EXPECT_EQ(view.positions[0], world[2]);
+  EXPECT_EQ(view.xs[0], xs[2]);
+  EXPECT_EQ(view.ys[0], ys[2]);
   EXPECT_EQ(stats.dropped, 4u);
 }
 
@@ -240,23 +245,24 @@ TEST(FaultState, CorruptLightsAlwaysMisreadsUnderCertainty) {
     FaultState state;
     state.init(plan, util::Prng{11}, 4);
     model::Snapshot snap;
-    snap.self_light = model::Light::kCorner;
-    snap.visible = {{geom::Vec2{1, 0}, model::Light::kCorner},
-                    {geom::Vec2{0, 1}, model::Light::kSide},
-                    {geom::Vec2{1, 1}, model::Light::kOff}};
+    snap.reset(model::Light::kCorner);
+    snap.push_visible(geom::Vec2{1, 0}, model::Light::kCorner);
+    snap.push_visible(geom::Vec2{0, 1}, model::Light::kSide);
+    snap.push_visible(geom::Vec2{1, 1}, model::Light::kOff);
     LookFaultStats stats;
     util::Prng rng = state.look_rng(0, 0);
     state.corrupt_lights(rng, snap, stats);
     EXPECT_EQ(stats.corrupted, 3u) << to_string(mode);
     EXPECT_EQ(snap.self_light, model::Light::kCorner);  // Never the self light.
+    const auto others = snap.other_lights();
     // A corrupted read is an actual MISREAD, never the original color...
-    EXPECT_NE(snap.visible[0].light, model::Light::kCorner) << to_string(mode);
-    EXPECT_NE(snap.visible[1].light, model::Light::kSide) << to_string(mode);
+    EXPECT_NE(others[0], model::Light::kCorner) << to_string(mode);
+    EXPECT_NE(others[1], model::Light::kSide) << to_string(mode);
     if (mode == CorruptionMode::kStuck) {
       // ...except kStuck, which pins everything at kOff by definition.
-      for (const auto& e : snap.visible) EXPECT_EQ(e.light, model::Light::kOff);
+      for (const auto l : others) EXPECT_EQ(l, model::Light::kOff);
     } else {
-      EXPECT_NE(snap.visible[2].light, model::Light::kOff) << to_string(mode);
+      EXPECT_NE(others[2], model::Light::kOff) << to_string(mode);
     }
   }
 }

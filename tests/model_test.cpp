@@ -104,7 +104,7 @@ TEST(Snapshot, ObstructionExcludesBlockedRobots) {
   const LocalFrame identity;
   const Snapshot snap = build_snapshot(pts, lights, 0, identity);
   // Robot 2 is hidden behind robot 1; robot 3 is visible.
-  EXPECT_EQ(snap.visible.size(), 2u);
+  EXPECT_EQ(snap.visible_count(), 2u);
 }
 
 TEST(Snapshot, EntriesAreInLocalFrame) {
@@ -112,19 +112,19 @@ TEST(Snapshot, EntriesAreInLocalFrame) {
   const std::vector<Light> lights = {Light::kOff, Light::kCorner};
   const LocalFrame frame{{10, 10}, 0.0, 1.0, false};
   const Snapshot snap = build_snapshot(pts, lights, 0, frame);
-  ASSERT_EQ(snap.visible.size(), 1u);
-  EXPECT_NEAR(snap.visible[0].position.x, 3.0, 1e-12);
-  EXPECT_NEAR(snap.visible[0].position.y, 4.0, 1e-12);
-  EXPECT_EQ(snap.visible[0].light, Light::kCorner);
+  ASSERT_EQ(snap.visible_count(), 1u);
+  EXPECT_NEAR(snap.other_positions()[0].x, 3.0, 1e-12);
+  EXPECT_NEAR(snap.other_positions()[0].y, 4.0, 1e-12);
+  EXPECT_EQ(snap.other_lights()[0], Light::kCorner);
   EXPECT_EQ(snap.self_light, Light::kOff);
 }
 
 TEST(Snapshot, LightCountsAndHelpers) {
   Snapshot snap;
-  snap.self_light = Light::kInterior;
-  snap.visible = {{{1, 0}, Light::kCorner},
-                  {{0, 1}, Light::kCorner},
-                  {{1, 1}, Light::kTransit}};
+  snap.reset(Light::kInterior);
+  snap.push_visible({1, 0}, Light::kCorner);
+  snap.push_visible({0, 1}, Light::kCorner);
+  snap.push_visible({1, 1}, Light::kTransit);
   EXPECT_EQ(snap.count_light(Light::kCorner), 2u);
   EXPECT_TRUE(snap.any_light(Light::kTransit));
   EXPECT_FALSE(snap.any_light(Light::kLine));
@@ -148,9 +148,9 @@ TEST(Snapshot, VisibleSetInvariantUnderFrames) {
   for (int trial = 0; trial < 20; ++trial) {
     const LocalFrame f = LocalFrame::random(pts[0], rng);
     const Snapshot snap = build_snapshot(pts, lights, 0, f);
-    ASSERT_EQ(snap.visible.size(), reference.visible.size());
-    for (std::size_t k = 0; k < snap.visible.size(); ++k) {
-      EXPECT_EQ(snap.visible[k].light, reference.visible[k].light);
+    ASSERT_EQ(snap.visible_count(), reference.visible_count());
+    for (std::size_t k = 0; k < snap.visible_count(); ++k) {
+      EXPECT_EQ(snap.other_lights()[k], reference.other_lights()[k]);
     }
   }
 }

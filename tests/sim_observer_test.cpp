@@ -52,9 +52,9 @@ class RecordingObserver final : public RunObserver {
   }
   void on_move_complete(const MoveSegment& move, const WorldView& world) override {
     // The contract: the world already holds the landed position.
-    EXPECT_EQ(world.positions[move.robot].x, move.to.x);
-    EXPECT_EQ(world.positions[move.robot].y, move.to.y);
-    EXPECT_EQ(world.moving[move.robot], 0);
+    EXPECT_EQ(world.position(move.robot).x, move.to.x);
+    EXPECT_EQ(world.position(move.robot).y, move.to.y);
+    EXPECT_FALSE(world.is_moving(move.robot));
     events.push_back({LoggedEvent::kMoveDone, move.t1, move.robot});
   }
   void on_epoch(std::size_t index, double end_time, const WorldView&) override {
@@ -238,12 +238,12 @@ TEST(StreamingCollision, FlagsAnEngineeredHeadOnCollision) {
   class SwapProbe final : public model::Algorithm {
    public:
     model::Action compute(const model::Snapshot& snap) const override {
-      if (snap.self_light != Light::kOff || snap.visible.empty()) {
+      if (snap.self_light != Light::kOff || snap.visible_count() == 0) {
         return model::Action::stay(snap.self_light == Light::kOff
                                        ? Light::kCorner
                                        : snap.self_light);
       }
-      return model::Action::move_to(snap.visible.front().position,
+      return model::Action::move_to(snap.other_positions().front(),
                                     Light::kCorner);
     }
     std::string_view name() const noexcept override { return "probe-swap"; }

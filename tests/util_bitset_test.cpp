@@ -1,0 +1,112 @@
+// Word-boundary coverage for util::DynamicBitset.
+//
+// The simulation packs per-robot flags (alive, move-in-flight) 64 to the
+// word and hands the raw words out through sim::WorldView, so the edges
+// that matter are exactly the word boundaries: sizes one below, at, and one
+// above a multiple of 64. The tail-bits-zero invariant is load-bearing —
+// count()/any() never mask — so it is pinned here for every boundary size.
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lumen::util {
+namespace {
+
+const std::size_t kBoundarySizes[] = {63, 64, 65, 127, 128, 129};
+
+TEST(DynamicBitsetWords, WordCountRoundsUp) {
+  EXPECT_EQ(DynamicBitset::word_count(0), 0u);
+  EXPECT_EQ(DynamicBitset::word_count(1), 1u);
+  EXPECT_EQ(DynamicBitset::word_count(63), 1u);
+  EXPECT_EQ(DynamicBitset::word_count(64), 1u);
+  EXPECT_EQ(DynamicBitset::word_count(65), 2u);
+  EXPECT_EQ(DynamicBitset::word_count(127), 2u);
+  EXPECT_EQ(DynamicBitset::word_count(128), 2u);
+  EXPECT_EQ(DynamicBitset::word_count(129), 3u);
+}
+
+TEST(DynamicBitsetWords, AssignTrueKeepsTailBitsZero) {
+  for (const std::size_t n : kBoundarySizes) {
+    DynamicBitset bits(n, true);
+    EXPECT_EQ(bits.size(), n);
+    EXPECT_EQ(bits.count(), n) << "n=" << n;
+    EXPECT_TRUE(bits.any());
+    EXPECT_FALSE(bits.none());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bits.test(i)) << "n=" << n << " i=" << i;
+    }
+    // The invariant itself: bits past size() in the last word are zero.
+    const auto words = bits.words();
+    ASSERT_EQ(words.size(), DynamicBitset::word_count(n));
+    const std::size_t tail = n & 63;
+    if (tail != 0) {
+      const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+      EXPECT_EQ(words.back() & ~mask, 0u) << "n=" << n;
+    }
+  }
+}
+
+TEST(DynamicBitsetWords, SetAndResetAcrossWordBoundary) {
+  for (const std::size_t n : kBoundarySizes) {
+    DynamicBitset bits(n, false);
+    EXPECT_EQ(bits.count(), 0u);
+    EXPECT_TRUE(bits.none());
+    // Set the bits straddling each 64-bit boundary plus both ends.
+    std::vector<std::size_t> picks = {0, n - 1};
+    for (std::size_t b = 64; b < n; b += 64) {
+      picks.push_back(b - 1);
+      picks.push_back(b);
+    }
+    for (const std::size_t i : picks) bits.set(i);
+    for (const std::size_t i : picks) {
+      EXPECT_TRUE(bits.test(i)) << "n=" << n << " i=" << i;
+    }
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bits.test(i)) ++distinct;
+    }
+    EXPECT_EQ(bits.count(), distinct) << "n=" << n;
+    for (const std::size_t i : picks) bits.reset(i);
+    EXPECT_EQ(bits.count(), 0u) << "n=" << n;
+    EXPECT_TRUE(bits.none());
+  }
+}
+
+TEST(DynamicBitsetWords, LastBitOfEachSizeIsIndependent) {
+  for (const std::size_t n : kBoundarySizes) {
+    DynamicBitset bits(n, false);
+    bits.set(n - 1);
+    EXPECT_EQ(bits.count(), 1u) << "n=" << n;
+    EXPECT_TRUE(bits.test(n - 1));
+    if (n >= 2) {
+      EXPECT_FALSE(bits.test(n - 2));
+    }
+    // Words view agrees with test(): bit (n-1) lives in the last word.
+    const auto words = bits.words();
+    EXPECT_EQ(words[(n - 1) >> 6] >> ((n - 1) & 63) & 1u, 1u) << "n=" << n;
+  }
+}
+
+TEST(DynamicBitsetWords, ReassignShrinkGrowReestablishesInvariant) {
+  DynamicBitset bits(129, true);
+  bits.assign(63, true);
+  EXPECT_EQ(bits.size(), 63u);
+  EXPECT_EQ(bits.count(), 63u);
+  EXPECT_EQ(bits.words().size(), 1u);
+  EXPECT_EQ(bits.words().back() >> 63, 0u) << "tail bit must be cleared";
+  bits.assign(128, true);
+  EXPECT_EQ(bits.count(), 128u);
+  EXPECT_EQ(bits.words().back(), ~std::uint64_t{0})
+      << "full word needs no tail mask";
+  bits.assign(0, true);
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_FALSE(bits.any());
+}
+
+}  // namespace
+}  // namespace lumen::util
