@@ -17,6 +17,7 @@
 #include "analysis/experiments.hpp"
 #include "analysis/journal.hpp"
 #include "analysis/reporter.hpp"
+#include "core/registry.hpp"
 #include "util/cli.hpp"
 
 #include <algorithm>
@@ -88,24 +89,45 @@ int cmd_list(const std::vector<std::string>& args) {
                   e.description.substr(0, e.description.find(':')).c_str());
     }
   }
+  // --names-only stays experiments-only: CI's smoke loop feeds each printed
+  // name back into `lumen-bench run`.
+  if (!names_only) {
+    std::printf("\nalgorithms (plugin contract — pass via --algorithm):\n");
+    for (const auto& a : core::algorithm_infos()) {
+      std::printf("  %-15s motion=%-10s palette=%zu predicate=%s\n",
+                  std::string(a.name).c_str(),
+                  std::string(model::to_string(a.motion_model)).c_str(),
+                  a.palette_size, std::string(a.success_predicate).c_str());
+    }
+  }
   return 0;
 }
 
 int cmd_describe(const std::vector<std::string>& args) {
   if (args.empty()) {
-    std::cerr << "error: describe needs an experiment name\n";
+    std::cerr << "error: describe needs an experiment or algorithm name\n";
     return 2;
   }
   const auto* e = analysis::ExperimentRegistry::instance().find(args[0]);
-  if (e == nullptr) {
-    std::cerr << "error: unknown experiment \"" << args[0]
-              << "\" (try `lumen-bench list`)\n";
-    return 2;
+  if (e != nullptr) {
+    std::cout << e->id << " " << e->name << "\n\n"
+              << e->description << "\n\ndefault spec:\n"
+              << analysis::scenario_to_json(e->defaults);
+    return 0;
   }
-  std::cout << e->id << " " << e->name << "\n\n"
-            << e->description << "\n\ndefault spec:\n"
-            << analysis::scenario_to_json(e->defaults);
-  return 0;
+  // Not an experiment — maybe a registered algorithm plugin.
+  for (const auto& a : core::algorithm_infos()) {
+    if (a.name != args[0]) continue;
+    std::cout << "algorithm " << a.name << "\n"
+              << "  motion model:      " << model::to_string(a.motion_model)
+              << "\n"
+              << "  palette size:      " << a.palette_size << "\n"
+              << "  success predicate: " << a.success_predicate << "\n";
+    return 0;
+  }
+  std::cerr << "error: unknown experiment or algorithm \"" << args[0]
+            << "\" (try `lumen-bench list`)\n";
+  return 2;
 }
 
 /// Shrinks a spec so every experiment finishes in seconds: at most two
@@ -149,7 +171,19 @@ bool apply_overrides(const util::Cli& cli, analysis::ScenarioSpec& spec,
   if (cli.is_set("seed-base")) {
     spec.seed_base = static_cast<std::uint64_t>(cli.get_int("seed-base"));
   }
-  if (cli.is_set("algorithm")) spec.algorithm = cli.get("algorithm");
+  if (cli.is_set("algorithm")) {
+    // Same up-front rejection as the ScenarioSpec JSON parser: a typo must
+    // fail here with the valid-name list, not surface later as an empty
+    // campaign full of kSpecInvalid cells.
+    const auto names = core::algorithm_names();
+    if (std::find(names.begin(), names.end(), cli.get("algorithm")) ==
+        names.end()) {
+      error = "--algorithm: unknown algorithm \"" + cli.get("algorithm") +
+              "\"; valid: " + core::algorithm_names_joined();
+      return false;
+    }
+    spec.algorithm = cli.get("algorithm");
+  }
   if (cli.is_set("family")) {
     const auto family = gen::family_from_string(cli.get("family"));
     if (!family) {

@@ -65,8 +65,11 @@ int main(int argc, char** argv) {
   config.seed = seed;
   const auto run = lumen::sim::run_simulation(*algorithm, initial, config);
 
-  // 4. Audit the run against the paper's claims.
-  const auto visibility = lumen::sim::verify_complete_visibility(run.final_positions);
+  // 4. Audit the run against the algorithm's DECLARED success predicate
+  //    (complete visibility for the paper's algorithms, mutual visibility
+  //    for the related-work plugins — DESIGN.md §14).
+  const auto success = lumen::sim::verify_success(algorithm->success_predicate(),
+                                                  run.final_positions);
   const auto collisions = lumen::sim::check_collisions(
       run.initial_positions, run.moves, run.final_time);
 
@@ -78,8 +81,8 @@ int main(int argc, char** argv) {
   std::printf("epochs               : %zu\n", run.epochs);
   std::printf("LCM cycles           : %zu (moves: %zu)\n", run.total_cycles,
               run.total_moves);
-  std::printf("complete visibility  : %s\n",
-              visibility.complete() ? "verified" : "VIOLATED");
+  std::printf("%-21s: %s\n", std::string(algorithm->success_predicate()).c_str(),
+              success.satisfied ? "verified" : "VIOLATED");
   std::printf("collision-free       : %s (min separation %.3e)\n",
               collisions.hazard_free(1e-9) ? "verified" : "VIOLATED",
               collisions.min_separation);
@@ -106,7 +109,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", svg_path.c_str());
     }
   }
-  return (run.converged && visibility.complete() && collisions.hazard_free(1e-9))
+  return (run.converged && success.satisfied && collisions.hazard_free(1e-9))
              ? 0
              : 1;
 }

@@ -37,7 +37,8 @@ std::optional<CampaignErrorKind> campaign_error_kind_from_string(
 std::string validate_campaign_spec(const CampaignSpec& spec) {
   const auto names = core::algorithm_names();
   if (std::find(names.begin(), names.end(), spec.algorithm) == names.end()) {
-    return "algorithm: unknown algorithm \"" + spec.algorithm + "\"";
+    return "algorithm: unknown algorithm \"" + spec.algorithm +
+           "\"; valid: " + core::algorithm_names_joined();
   }
   if (spec.n < 1) return "n must be >= 1";
   if (spec.runs < 1) return "runs must be >= 1";
@@ -111,6 +112,16 @@ fault::FaultCounters CampaignResult::fault_totals() const noexcept {
     totals.corrupted_reads += m.faults.corrupted_reads;
     totals.dropped_observations += m.faults.dropped_observations;
     totals.perturbed_observations += m.faults.perturbed_observations;
+  }
+  return totals;
+}
+
+CampaignResult::CacheTotals CampaignResult::cache_totals() const noexcept {
+  CacheTotals totals;
+  for (const auto& m : runs) {
+    totals.replays += m.cache_replays;
+    totals.repairs += m.cache_repairs;
+    totals.rebuilds += m.cache_rebuilds;
   }
   return totals;
 }
@@ -257,8 +268,16 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
     m.colors = run.distinct_lights_used();
     m.outcome = run.outcome;
     m.faults = run.faults;
+    m.cache_replays = run.cache_replays;
+    m.cache_repairs = run.cache_repairs;
+    m.cache_rebuilds = run.cache_rebuilds;
+    // The verdict audits the algorithm's DECLARED success predicate, not a
+    // hardwired complete-visibility check — related-work plugins declare
+    // weaker goals (see model::Algorithm::success_predicate).
     m.visibility_ok =
-        sim::verify_complete_visibility(run.final_positions, &workers).complete();
+        sim::verify_success(algorithm->success_predicate(), run.final_positions,
+                            &workers)
+            .satisfied;
     if (spec.audit_collisions) {
       const sim::CollisionReport& report =
           attribute_faults ? safety.report() : monitor.report();

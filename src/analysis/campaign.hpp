@@ -111,6 +111,10 @@ struct RunMetrics {
   std::size_t moves = 0;
   double distance = 0.0;
   std::size_t colors = 0;
+  /// The final configuration satisfies the algorithm's DECLARED success
+  /// predicate (model::Algorithm::success_predicate, evaluated by
+  /// sim::verify_success) — complete visibility for the paper algorithms,
+  /// mutual visibility for the related-work plugins.
   bool visibility_ok = false;
   /// Physical verdict: no coincidence, closest approach above noise
   /// (CollisionReport::hazard_free). Strict path crossings are counted
@@ -127,6 +131,11 @@ struct RunMetrics {
   /// The fault channel the safety monitor blames for the run's collision
   /// incidents (kNone when incident-free or unaudited).
   fault::FaultChannel collision_channel = fault::FaultChannel::kNone;
+  /// Visibility-cache hit mix for this run (RunResult::cache_*): Looks
+  /// served by replay, by write-log repair, and by full rebuilds.
+  std::uint64_t cache_replays = 0;
+  std::uint64_t cache_repairs = 0;
+  std::uint64_t cache_rebuilds = 0;
 
   friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
@@ -169,6 +178,18 @@ struct CampaignResult {
   [[nodiscard]] std::size_t outcome_count(sim::RunOutcome outcome) const noexcept;
   /// Injected-fault totals summed over every run in the campaign.
   [[nodiscard]] fault::FaultCounters fault_totals() const noexcept;
+  /// Visibility-cache hit mix summed over every run (replays / repairs /
+  /// rebuilds) — the campaign-level evidence for the E7c table.
+  struct CacheTotals {
+    std::uint64_t replays = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t rebuilds = 0;
+
+    [[nodiscard]] std::uint64_t looks() const noexcept {
+      return replays + repairs + rebuilds;
+    }
+  };
+  [[nodiscard]] CacheTotals cache_totals() const noexcept;
   /// Summary over CONVERGED runs' epoch counts.
   [[nodiscard]] util::Summary epochs() const;
   [[nodiscard]] util::Summary moves() const;

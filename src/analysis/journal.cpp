@@ -92,6 +92,12 @@ util::JsonValue run_metrics_to_json(const RunMetrics& m) {
   obj.set("collision_channel",
           util::JsonValue::string(
               std::string(fault::to_string(m.collision_channel))));
+  obj.set("cache_replays",
+          util::JsonValue::integer(static_cast<std::int64_t>(m.cache_replays)));
+  obj.set("cache_repairs",
+          util::JsonValue::integer(static_cast<std::int64_t>(m.cache_repairs)));
+  obj.set("cache_rebuilds",
+          util::JsonValue::integer(static_cast<std::int64_t>(m.cache_rebuilds)));
   return obj;
 }
 
@@ -112,6 +118,16 @@ std::optional<RunMetrics> run_metrics_from_json(const util::JsonValue& v,
       return;
     }
     out = static_cast<std::size_t>(value.as_int());
+  };
+  const auto want_count64 = [&](std::string_view key, std::uint64_t& out,
+                                const util::JsonValue& value) {
+    if (!value.is_integer() || value.as_int() < 0) {
+      set_error(error,
+                "metrics." + std::string(key) + " must be a non-negative integer");
+      ok = false;
+      return;
+    }
+    out = static_cast<std::uint64_t>(value.as_int());
   };
   const auto want_bool = [&](std::string_view key, bool& out,
                              const util::JsonValue& value) {
@@ -188,6 +204,12 @@ std::optional<RunMetrics> run_metrics_from_json(const util::JsonValue& v,
       } else {
         m.collision_channel = *channel;
       }
+    } else if (key == "cache_replays") {
+      want_count64(key, m.cache_replays, value);
+    } else if (key == "cache_repairs") {
+      want_count64(key, m.cache_repairs, value);
+    } else if (key == "cache_rebuilds") {
+      want_count64(key, m.cache_rebuilds, value);
     } else {
       set_error(error, "metrics: unknown key \"" + key + "\"");
       ok = false;

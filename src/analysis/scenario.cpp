@@ -1,8 +1,10 @@
 #include "analysis/scenario.hpp"
 
+#include "core/registry.hpp"
 #include "sim/config_io.hpp"
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -117,6 +119,16 @@ ScenarioParse scenario_from_json(std::string_view text) {
     } else if (key == "algorithm") {
       if (!value.is_string() || value.as_string().empty()) {
         out.error = "algorithm must be a non-empty string";
+        return out;
+      }
+      // Registry check at the parse boundary: an unknown name must fail
+      // HERE with the valid list, not later as an exception from
+      // make_algorithm inside a campaign worker thread.
+      const auto names = core::algorithm_names();
+      if (std::find(names.begin(), names.end(), value.as_string()) ==
+          names.end()) {
+        out.error = "algorithm: unknown algorithm \"" + value.as_string() +
+                    "\"; valid: " + core::algorithm_names_joined();
         return out;
       }
       spec.algorithm = value.as_string();

@@ -1,0 +1,67 @@
+#include "core/grid_cv.hpp"
+
+#include "core/obstruction.hpp"
+
+#include <array>
+
+namespace lumen::core {
+
+namespace {
+
+using model::Action;
+using model::Light;
+
+constexpr std::array<Light, 4> kPalette = {Light::kOff, Light::kCorner,
+                                           Light::kInterior, Light::kMoving};
+
+// 1/sqrt(2): the 45-degree blend of the perpendicular and line directions.
+constexpr double kHalfSqrt2 = 0.70710678118654752;
+
+// A candidate landing spot is safe when it keeps this fraction of the
+// nearest-neighbor distance from every visible robot; >= 0.75 world units
+// on the lattice, so the snapped cell cannot be an occupied visible cell.
+constexpr double kClearanceFactor = 0.75;
+
+bool clear_of_visible(const model::Snapshot& snap, geom::Vec2 target,
+                      double clearance) noexcept {
+  for (const geom::Vec2 p : snap.other_positions()) {
+    if (geom::distance(target, p) < clearance) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::span<const model::Light> GridCompleteVisibility::palette() const noexcept {
+  return kPalette;
+}
+
+model::Action GridCompleteVisibility::compute(const model::Snapshot& snap) const {
+  if (snap.visible_count() < 2) return Action::stay(Light::kCorner);
+  const auto blocked = find_blocked_pair(snap);
+  if (!blocked.has_value()) return Action::stay(Light::kCorner);
+  if (snap.any_light(Light::kMoving)) return Action::stay(Light::kInterior);
+  const auto others = snap.other_positions();
+  const geom::Vec2 u =
+      geom::normalized(others[blocked->second] - others[blocked->first]);
+  const geom::Vec2 p = geom::perp(u);
+  const double near = nearest_visible_distance(snap);
+  const double step = 0.9 * near;
+  const std::array<geom::Vec2, 4> candidates = {
+      p,
+      -p,
+      (p + u) * kHalfSqrt2,
+      (p - u) * kHalfSqrt2,
+  };
+  for (const geom::Vec2 dir : candidates) {
+    const geom::Vec2 target = dir * step;
+    if (clear_of_visible(snap, target, kClearanceFactor * near)) {
+      return Action::move_to(target, Light::kMoving);
+    }
+  }
+  // Boxed in: every escape spot is too close to someone. Defer; neighbors'
+  // moves reshape the neighborhood before the next Look.
+  return Action::stay(Light::kInterior);
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,52 @@
+// lumen_core: complete visibility on the integer grid (Kim & Katayama,
+// arXiv:2306.08354), adapted to this engine's plugin contract.
+//
+// The grid-plane model constrains WHERE robots may rest (lattice points)
+// and HOW they travel (axis-aligned legs); both constraints live in the
+// engine, keyed off motion_model() == kGrid — the algorithm itself still
+// reasons in its local frame, because a robot cannot know the world lattice
+// axes through an arbitrary similarity frame. The rule mirrors mutual-vis
+// (a robot blocking a visible pair steps off the line) with two grid
+// adaptations:
+//
+//   * the step is 0.9x the nearest-neighbor distance. Distinct lattice
+//     points are >= 1 apart in world units, so the snapped displacement is
+//     always a nonzero lattice step (0.9 / sqrt(2) > 1/2) — sub-half-cell
+//     proposals that would snap back onto the robot's own cell can never
+//     stall progress;
+//   * a candidate target is accepted only if it keeps >= 0.75x the
+//     nearest-neighbor distance from every VISIBLE robot. In world units
+//     that is >= 0.75 > 1/sqrt(2)/1, so the snapped landing cell cannot
+//     coincide with any visible robot's cell. Four candidate directions are
+//     tried (both perpendiculars to the blocked line, then the two 45-degree
+//     blends); if none is safe the robot defers (kInterior) and re-decides
+//     after its neighbors move.
+//
+// On the grid, strict convexity of N > 4 points is unattainable for small
+// hulls and axis-aligned motion makes the paper's corner-count argument
+// moot, so the declared success predicate is "mutual-visibility" (every
+// pair sees each other) — the property the Kim-Katayama construction
+// establishes before its hull phase. Lights as in mutual-vis: kCorner =
+// satisfied, kInterior = blocked/deferring, kMoving = in flight.
+#pragma once
+
+#include "model/algorithm.hpp"
+
+namespace lumen::core {
+
+class GridCompleteVisibility final : public model::Algorithm {
+ public:
+  [[nodiscard]] model::Action compute(const model::Snapshot& snap) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "grid-cv";
+  }
+  [[nodiscard]] std::span<const model::Light> palette() const noexcept override;
+  [[nodiscard]] model::MotionModel motion_model() const noexcept override {
+    return model::MotionModel::kGrid;
+  }
+  [[nodiscard]] std::string_view success_predicate() const noexcept override {
+    return "mutual-visibility";
+  }
+};
+
+}  // namespace lumen::core

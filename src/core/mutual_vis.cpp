@@ -1,0 +1,44 @@
+#include "core/mutual_vis.hpp"
+
+#include "core/obstruction.hpp"
+
+#include <array>
+
+namespace lumen::core {
+
+namespace {
+
+using model::Action;
+using model::Light;
+
+constexpr std::array<Light, 4> kPalette = {Light::kOff, Light::kCorner,
+                                           Light::kInterior, Light::kMoving};
+
+}  // namespace
+
+std::span<const model::Light> MutualVisibility::palette() const noexcept {
+  return kPalette;
+}
+
+model::Action MutualVisibility::compute(const model::Snapshot& snap) const {
+  if (snap.visible_count() < 2) return Action::stay(Light::kCorner);
+  const auto blocked = find_blocked_pair(snap);
+  if (!blocked.has_value()) return Action::stay(Light::kCorner);
+  // Someone nearby is mid-flight: its observed position is stale, so wait
+  // for it to settle before planning a step around it. Deferral shows
+  // kInterior, never kMoving, so two blocked robots cannot deadlock on each
+  // other's lights.
+  if (snap.any_light(Light::kMoving)) return Action::stay(Light::kInterior);
+  const auto others = snap.other_positions();
+  const geom::Vec2 a = others[blocked->first];
+  const geom::Vec2 b = others[blocked->second];
+  const double step = 0.25 * nearest_visible_distance(snap);
+  // Perpendicular escape off the blocked line. The sign is fixed in the
+  // local frame; frames are redrawn (with random reflection) every Look, so
+  // across activations the world-side choice varies while each single
+  // Compute stays deterministic in its snapshot.
+  const geom::Vec2 dir = geom::normalized(geom::perp(b - a));
+  return Action::move_to(dir * step, Light::kMoving);
+}
+
+}  // namespace lumen::core

@@ -1,0 +1,46 @@
+// lumen_core: mutual visibility without collisions (Di Luna et al.,
+// arXiv:1405.2430), adapted to this engine's plugin contract.
+//
+// The goal is weaker than the paper's Complete Visibility: reach a
+// configuration in which every pair of robots sees each other (no three
+// robots collinear), with no convexity requirement — the success predicate
+// is "mutual-visibility". The rule is purely local:
+//
+//   * a robot that obstructs no visible pair is SATISFIED: it shows kCorner
+//     and stays;
+//   * a robot sitting between two visible robots a, b steps PERPENDICULAR
+//     to the segment a-b by a quarter of its nearest-neighbor distance,
+//     showing kMoving while it does;
+//   * a blocked robot that currently sees any kMoving light defers
+//     (kInterior) until the mover settles, so decisions are not based on a
+//     neighbor observed mid-flight.
+//
+// Collision freedom of a step: every mover travels at most 1/4 of its own
+// nearest-neighbor distance d, so even if its nearest neighbor moves
+// simultaneously (by at most 1/4 of ITS nearest distance <= d/4 toward us),
+// the pair's separation stays >= d - d/4 - d/4 = d/2 > 0.
+//
+// Lights: {kOff, kCorner, kInterior, kMoving} — kOff only as the initial
+// color; kCorner = satisfied, kInterior = blocked but deferring, kMoving =
+// in flight. Quiescence (every robot a stationary kCorner that re-observed
+// the final world) implies no robot obstructs any visible pair, which is
+// exactly the mutual-visibility predicate.
+#pragma once
+
+#include "model/algorithm.hpp"
+
+namespace lumen::core {
+
+class MutualVisibility final : public model::Algorithm {
+ public:
+  [[nodiscard]] model::Action compute(const model::Snapshot& snap) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "mutual-vis";
+  }
+  [[nodiscard]] std::span<const model::Light> palette() const noexcept override;
+  [[nodiscard]] std::string_view success_predicate() const noexcept override {
+    return "mutual-visibility";
+  }
+};
+
+}  // namespace lumen::core

@@ -1,0 +1,67 @@
+// lumen_core: snapshot-local obstruction queries shared by the related-work
+// algorithms (grid-cv, mutual-vis).
+//
+// Both algorithms are driven by one local question: "am I sitting on the
+// segment between two robots I can see?" Visibility in this model is
+// obstructed, so if a and b are both visible to the observer and the
+// observer lies between them on their line, then the observer is the ONLY
+// robot blocking the pair a-b — moving off that line is guaranteed local
+// progress. The test runs in the observer's local frame (self at the
+// origin): a and b straddle the origin iff dot(a, b) < 0, and the three
+// points are collinear iff the normalized cross product |a x b| / (|a||b|)
+// vanishes. Local frames are similarity transforms, which preserve both
+// sign(dot) up to the straddle test's needs and exact collinearity, so the
+// answer is frame-independent. The threshold 1e-9 separates the two
+// populations by orders of magnitude: exactly-collinear world triples map
+// to ~1e-14 after the frame transform, while the closest non-collinear
+// lattice triples in the generator's range land at ~1e-5.
+#pragma once
+
+#include "model/snapshot.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace lumen::core {
+
+inline constexpr double kCollinearSinThreshold = 1e-9;
+
+/// Indices (into snap.other_positions()) of the first visible pair the
+/// observer blocks, scanning in snapshot order; nullopt when the observer
+/// obstructs nobody.
+[[nodiscard]] inline std::optional<std::pair<std::size_t, std::size_t>>
+find_blocked_pair(const model::Snapshot& snap) {
+  const auto others = snap.other_positions();
+  for (std::size_t i = 0; i < others.size(); ++i) {
+    for (std::size_t j = i + 1; j < others.size(); ++j) {
+      const geom::Vec2 a = others[i];
+      const geom::Vec2 b = others[j];
+      if (geom::dot(a, b) >= 0.0) continue;  // Origin not between a and b.
+      const double denom = geom::norm(a) * geom::norm(b);
+      if (denom <= 0.0) continue;
+      if (std::abs(geom::cross(a, b)) <= kCollinearSinThreshold * denom) {
+        return std::make_pair(i, j);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Distance from the observer (the origin) to its nearest visible robot;
+/// 0 when nobody is visible.
+[[nodiscard]] inline double nearest_visible_distance(
+    const model::Snapshot& snap) noexcept {
+  double best_sq = 0.0;
+  bool any = false;
+  for (const geom::Vec2 p : snap.other_positions()) {
+    const double d = geom::norm_sq(p);
+    if (!any || d < best_sq) {
+      best_sq = d;
+      any = true;
+    }
+  }
+  return any ? std::sqrt(best_sq) : 0.0;
+}
+
+}  // namespace lumen::core

@@ -2,6 +2,8 @@
 
 #include "core/baseline_sequential.hpp"
 #include "core/cv_async.hpp"
+#include "core/grid_cv.hpp"
+#include "core/mutual_vis.hpp"
 #include "core/ssync_parallel.hpp"
 
 #include <sstream>
@@ -10,17 +12,40 @@
 namespace lumen::core {
 
 std::vector<std::string_view> algorithm_names() {
-  return {"async-log", "seq-baseline", "ssync-parallel"};
+  return {"async-log", "seq-baseline", "ssync-parallel", "grid-cv",
+          "mutual-vis"};
+}
+
+std::string algorithm_names_joined() {
+  std::string out;
+  for (const auto n : algorithm_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
 }
 
 model::AlgorithmPtr make_algorithm(std::string_view name) {
   if (name == "async-log") return std::make_shared<CompleteVisibilityAsync>();
   if (name == "seq-baseline") return std::make_shared<SequentialAsyncBaseline>();
   if (name == "ssync-parallel") return std::make_shared<SsyncParallel>();
+  if (name == "grid-cv") return std::make_shared<GridCompleteVisibility>();
+  if (name == "mutual-vis") return std::make_shared<MutualVisibility>();
   std::ostringstream msg;
   msg << "unknown algorithm '" << name << "'; valid:";
   for (const auto& n : algorithm_names()) msg << ' ' << n;
   throw std::invalid_argument(msg.str());
+}
+
+std::vector<AlgorithmInfo> algorithm_infos() {
+  std::vector<AlgorithmInfo> infos;
+  for (const auto name : algorithm_names()) {
+    const model::AlgorithmPtr algo = make_algorithm(name);
+    infos.push_back(AlgorithmInfo{algo->name(), algo->motion_model(),
+                                  algo->palette().size(),
+                                  algo->success_predicate()});
+  }
+  return infos;
 }
 
 }  // namespace lumen::core

@@ -3,11 +3,16 @@
 // Benches, tests and examples refer to algorithms by their stable names:
 //   "async-log"      — the paper's O(log N) ASYNC algorithm,
 //   "seq-baseline"   — the O(N) ASYNC translation baseline,
-//   "ssync-parallel" — the semi-synchronous comparator.
+//   "ssync-parallel" — the semi-synchronous comparator,
+//   "grid-cv"        — grid-plane complete visibility (Kim & Katayama,
+//                      arXiv:2306.08354; integer-lattice motion model),
+//   "mutual-vis"     — mutual visibility without collisions (Di Luna et
+//                      al., arXiv:1405.2430; mutual-visibility predicate).
 #pragma once
 
 #include "model/algorithm.hpp"
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -16,8 +21,23 @@ namespace lumen::core {
 /// All registered algorithm names, in presentation order.
 [[nodiscard]] std::vector<std::string_view> algorithm_names();
 
+/// The registered names joined with ", " — for error messages and CLI help.
+[[nodiscard]] std::string algorithm_names_joined();
+
 /// Constructs an algorithm by name; throws std::invalid_argument on unknown
 /// names (lists the valid ones in the message).
 [[nodiscard]] model::AlgorithmPtr make_algorithm(std::string_view name);
+
+/// The plugin-contract traits of one registered algorithm, as declared by
+/// the instance itself (name / motion_model / palette / success_predicate).
+struct AlgorithmInfo {
+  std::string_view name;
+  model::MotionModel motion_model = model::MotionModel::kContinuous;
+  std::size_t palette_size = 0;
+  std::string_view success_predicate;
+};
+
+/// Traits of every registered algorithm, in algorithm_names() order.
+[[nodiscard]] std::vector<AlgorithmInfo> algorithm_infos();
 
 }  // namespace lumen::core

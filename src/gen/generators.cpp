@@ -20,6 +20,7 @@ std::string_view to_string(ConfigFamily f) noexcept {
     case ConfigFamily::kCollinear: return "collinear";
     case ConfigFamily::kNearCollinear: return "near-collinear";
     case ConfigFamily::kDenseDiameter: return "dense-diameter";
+    case ConfigFamily::kLattice: return "lattice";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ const std::vector<ConfigFamily>& all_families() {
       ConfigFamily::kGaussianBlob,  ConfigFamily::kMultiCluster,
       ConfigFamily::kRingWithCore,  ConfigFamily::kGrid,
       ConfigFamily::kCollinear,     ConfigFamily::kNearCollinear,
-      ConfigFamily::kDenseDiameter,
+      ConfigFamily::kDenseDiameter, ConfigFamily::kLattice,
   };
   return families;
 }
@@ -192,6 +193,21 @@ std::vector<Vec2> dense_diameter(std::size_t n, util::Prng& rng, double min_sep)
   return pts;
 }
 
+std::vector<Vec2> lattice(std::size_t n, util::Prng& rng, double min_sep) {
+  // Distinct integer lattice points, uniform over the world square. Lattice
+  // points are >= 1 apart, so any min_sep <= 1 reduces the separation test
+  // to plain distinctness; larger separations still hold by rejection.
+  const auto side = static_cast<std::uint64_t>(2.0 * kWorldRadius) + 1;
+  if (n > side * side) {
+    throw std::invalid_argument(
+        "gen::generate: lattice family cannot host this many robots");
+  }
+  return sample_separated(n, std::max(min_sep, 0.5), [&] {
+    return Vec2{static_cast<double>(rng.next_below(side)) - kWorldRadius,
+                static_cast<double>(rng.next_below(side)) - kWorldRadius};
+  });
+}
+
 }  // namespace
 
 std::vector<Vec2> generate(ConfigFamily family, std::size_t n, std::uint64_t seed,
@@ -209,6 +225,7 @@ std::vector<Vec2> generate(ConfigFamily family, std::size_t n, std::uint64_t see
     case ConfigFamily::kCollinear: return collinear(n, rng, min_separation);
     case ConfigFamily::kNearCollinear: return near_collinear(n, rng, min_separation);
     case ConfigFamily::kDenseDiameter: return dense_diameter(n, rng, min_separation);
+    case ConfigFamily::kLattice: return lattice(n, rng, min_separation);
   }
   throw std::invalid_argument("gen::generate: unknown family");
 }

@@ -31,6 +31,11 @@ enum class ConfigFamily {
                    ///< degenerate, but 2-D: stresses the predicates).
   kDenseDiameter,  ///< Adversarial: half the robots packed near the segment
                    ///< between two far-apart anchors (deep obstruction).
+  kLattice,        ///< Distinct INTEGER lattice points in the world square —
+                   ///< the native family for grid-motion algorithms
+                   ///< (model::MotionModel::kGrid). Appended last: the
+                   ///< family's enum value salts its generator stream, so
+                   ///< new entries must never reorder existing ones.
 };
 
 [[nodiscard]] std::string_view to_string(ConfigFamily f) noexcept;

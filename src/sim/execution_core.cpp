@@ -22,11 +22,24 @@ ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
                              std::span<RunObserver* const> observers)
     : algo_(algorithm),
       config_(config),
+      grid_(algorithm.motion_model() == model::MotionModel::kGrid),
       n_(initial.size()),
       rng_(config.seed),
       epochs_(initial.size()),
       observers_(observers) {
-  world_.reset(initial);
+  if (grid_) {
+    // Grid motion: the world lives on the integer lattice from the first
+    // instant — initial positions snap to the nearest lattice point. The
+    // drivers read initial_positions back from the world state, so results
+    // report the snapped configuration the run actually started from.
+    std::vector<geom::Vec2> snapped(initial.begin(), initial.end());
+    for (geom::Vec2& p : snapped) {
+      p = geom::Vec2{std::nearbyint(p.x), std::nearbyint(p.y)};
+    }
+    world_.reset(snapped);
+  } else {
+    world_.reset(initial);
+  }
   current_move_.assign(n_, MoveSegment{});
   cycle_start_.assign(n_, 0.0);
   look_time_.assign(n_, 0.0);
@@ -42,6 +55,11 @@ ExecutionCore::ExecutionCore(const model::Algorithm& algorithm,
   arena_->look_ys.assign(world_.ys().begin(), world_.ys().end());
   arena_->prev_movers.clear();
   arena_->visibility_cache.reset(n_, config.visibility_cache_budget);
+  // Shared arenas carry the cache (and its lifetime counters) across runs;
+  // baselines let finalize report this run's hit mix as deltas.
+  cache_base_replays_ = arena_->visibility_cache.replays();
+  cache_base_repairs_ = arena_->visibility_cache.repairs();
+  cache_base_rebuilds_ = arena_->visibility_cache.rebuilds();
   // Fault streams are split() children of rng_, so an empty plan leaves
   // every existing stream untouched (bit-identity with fault-free runs).
   fault_.init(config.fault, rng_, n_);
@@ -202,6 +220,19 @@ void ExecutionCore::compute_pending(std::size_t robot,
   pending_[robot] = model::Action{frame.to_world(action.target), action.light};
   // Encode "stay" in world terms: a stay action keeps the world position.
   if (!action.moves()) pending_[robot].target = geom::Vec2{xs[robot], ys[robot]};
+  if (grid_) {
+    // Grid motion: the world-frame goal snaps to the nearest lattice point.
+    // A move whose goal snaps back onto the robot's own cell is a null
+    // action — it must count toward quiescence or sub-half-cell targets
+    // would keep the run alive forever.
+    geom::Vec2& t = pending_[robot].target;
+    t = geom::Vec2{std::nearbyint(t.x), std::nearbyint(t.y)};
+    pending_null_[robot] = (t == geom::Vec2{xs[robot], ys[robot]} &&
+                            action.light == world_.light(robot))
+                               ? 1
+                               : 0;
+    return;
+  }
   pending_null_[robot] =
       (!action.moves() && action.light == world_.light(robot)) ? 1 : 0;
 }
@@ -266,6 +297,17 @@ void ExecutionCore::look_batch(std::span<const std::size_t> robots, double time)
   }
 }
 
+geom::Vec2 ExecutionCore::grid_leg(geom::Vec2 from, geom::Vec2 goal) noexcept {
+  const double dx = goal.x - from.x;
+  const double dy = goal.y - from.y;
+  if (dx == 0.0 && dy == 0.0) return from;
+  // Dominant axis first (ties go to x): one full rectilinear leg per commit,
+  // so both endpoints are lattice points and intermediate Looks observe the
+  // robot travelling along a grid line.
+  if (std::abs(dx) >= std::abs(dy)) return geom::Vec2{goal.x, from.y};
+  return geom::Vec2{from.x, goal.y};
+}
+
 geom::Vec2 ExecutionCore::apply_motion_adversary(geom::Vec2 from, geom::Vec2 to,
                                                  util::Prng& rng) const {
   if (config_.rigid_moves) return to;
@@ -284,7 +326,11 @@ bool ExecutionCore::commit_async(std::size_t robot, double now,
   world_.set_light(robot, action.light);
   lights_seen_[light_index(action.light)] = true;
   const geom::Vec2 from = world_.position(robot);
-  const geom::Vec2 to = apply_motion_adversary(from, action.target, motion_rng);
+  // Grid commits travel one axis leg and skip the motion adversary (no rng
+  // draw — grid algorithms are new, so no stream compatibility to keep).
+  const geom::Vec2 to = grid_ ? grid_leg(from, action.target)
+                              : apply_motion_adversary(from, action.target,
+                                                       motion_rng);
   const double dist = geom::distance(from, to);
   if (light_changed) last_change_ = now;
   const bool starts_move = dist > 0.0;
@@ -313,7 +359,11 @@ bool ExecutionCore::commit_sync(std::size_t robot, double t0, double t1,
   const model::Action action = pending_[robot];
   const geom::Vec2 from = world_.position(robot);
   geom::Vec2 to = action.target;
-  if (to != from) to = apply_motion_adversary(from, to, motion_rng);
+  if (grid_) {
+    to = grid_leg(from, to);
+  } else if (to != from) {
+    to = apply_motion_adversary(from, to, motion_rng);
+  }
   const bool light_changed = world_.light(robot) != action.light;
   const bool moved = to != from;
   world_.set_light(robot, action.light);
@@ -453,6 +503,12 @@ void ExecutionCore::finalize(RunResult& result, bool converged,
   result.faults = fault_.counters();
   const auto crashed = fault_.crashed_flags();
   result.crashed.assign(crashed.begin(), crashed.end());
+  // This run's visibility-cache hit mix (deltas against the construction
+  // baselines; the cache outlives the run when the arena is shared).
+  const geom::VisibilityCache& cache = arena_->visibility_cache;
+  result.cache_replays = cache.replays() - cache_base_replays_;
+  result.cache_repairs = cache.repairs() - cache_base_repairs_;
+  result.cache_rebuilds = cache.rebuilds() - cache_base_rebuilds_;
 }
 
 }  // namespace lumen::sim

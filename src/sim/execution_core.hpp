@@ -170,6 +170,14 @@ class ExecutionCore {
   [[nodiscard]] geom::Vec2 apply_motion_adversary(geom::Vec2 from, geom::Vec2 to,
                                                   util::Prng& rng) const;
 
+  /// Grid mode (model::MotionModel::kGrid): the single rectilinear leg a
+  /// commit travels toward the (lattice-snapped) goal — the full dominant
+  /// axis first, then the other. Both endpoints are lattice points, so the
+  /// committed-write-log and VisibilityCache contracts are untouched; the
+  /// motion adversary never applies (grid moves are rigid by definition).
+  [[nodiscard]] static geom::Vec2 grid_leg(geom::Vec2 from,
+                                           geom::Vec2 goal) noexcept;
+
   [[nodiscard]] model::LocalFrame make_frame(std::size_t robot, geom::Vec2 origin);
 
   /// The pure per-robot slice of a Look: snapshot the xs/ys world arrays
@@ -195,6 +203,10 @@ class ExecutionCore {
 
   const model::Algorithm& algo_;
   const RunConfig& config_;
+  /// True when algo_ declares MotionModel::kGrid; gates target snapping and
+  /// the axis-leg commit path. Continuous algorithms take the exact
+  /// historical code path (golden digests stay bit-identical).
+  bool grid_ = false;
   std::size_t n_;
   util::Prng rng_;
   util::Prng look_frame_rng_{0};
@@ -241,6 +253,13 @@ class ExecutionCore {
   // otherwise this run's private one.
   LookArena own_arena_;
   LookArena* arena_ = nullptr;
+
+  // VisibilityCache counter baselines, captured at construction: the cache
+  // may be shared across runs (campaign arenas), so finalize reports this
+  // run's hit mix as deltas against these.
+  std::uint64_t cache_base_replays_ = 0;
+  std::uint64_t cache_base_repairs_ = 0;
+  std::uint64_t cache_base_rebuilds_ = 0;
 };
 
 }  // namespace lumen::sim

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace lumen::sim {
 
@@ -142,6 +143,33 @@ VisibilityVerdict verify_complete_visibility(std::span<const geom::Vec2> positio
   verdict.strictly_convex = geom::points_in_strictly_convex_position(positions);
   verdict.mutually_visible = geom::compute_visibility(positions, pool).complete();
   return verdict;
+}
+
+std::vector<std::string_view> success_predicate_names() {
+  return {"complete-visibility", "mutual-visibility"};
+}
+
+SuccessVerdict verify_success(std::string_view predicate,
+                              std::span<const geom::Vec2> positions,
+                              util::ThreadPool* pool) {
+  SuccessVerdict out;
+  out.visibility = verify_complete_visibility(positions, pool);
+  if (predicate == "complete-visibility") {
+    out.satisfied = out.visibility.complete();
+    return out;
+  }
+  if (predicate == "mutual-visibility") {
+    out.satisfied = out.visibility.distinct && out.visibility.mutually_visible;
+    return out;
+  }
+  std::string msg = "unknown success predicate '";
+  msg += predicate;
+  msg += "'; valid:";
+  for (const auto n : success_predicate_names()) {
+    msg += ' ';
+    msg += n;
+  }
+  throw std::invalid_argument(msg);
 }
 
 // ---------------------------------------------------------------------------

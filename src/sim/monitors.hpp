@@ -113,6 +113,28 @@ struct VisibilityVerdict {
 [[nodiscard]] VisibilityVerdict verify_complete_visibility(
     std::span<const geom::Vec2> positions, util::ThreadPool* pool = nullptr);
 
+/// The named success predicates an Algorithm may declare
+/// (model::Algorithm::success_predicate), in presentation order.
+[[nodiscard]] std::vector<std::string_view> success_predicate_names();
+
+/// Evaluates the named success predicate over a final configuration:
+///   "complete-visibility" — distinct + strictly convex + mutually visible
+///     (the paper's C1 postcondition);
+///   "mutual-visibility"   — distinct + mutually visible, convexity not
+///     required (Di Luna et al., arXiv:1405.2430).
+/// `satisfied` is the predicate's verdict; the full VisibilityVerdict is
+/// returned alongside so callers can still report the individual bits.
+/// Throws std::invalid_argument for unknown predicate names (lists the
+/// valid ones).
+struct SuccessVerdict {
+  VisibilityVerdict visibility;
+  bool satisfied = false;
+};
+
+[[nodiscard]] SuccessVerdict verify_success(std::string_view predicate,
+                                            std::span<const geom::Vec2> positions,
+                                            util::ThreadPool* pool = nullptr);
+
 class StreamingCollisionMonitor;
 
 /// Collision auditing with fault attribution: wraps a

@@ -20,13 +20,14 @@ namespace {
 
 TEST(Registry, ListsAllPaperExperiments) {
   const auto& experiments = ExperimentRegistry::instance().experiments();
-  ASSERT_EQ(experiments.size(), 10u);
+  ASSERT_EQ(experiments.size(), 11u);
   const char* names[] = {"time-vs-n", "convergence", "colors",
                          "collisions", "doubling",   "summary",
                          "ablation",   "crash-tolerance",
-                         "light-corruption", "sensor-noise"};
+                         "light-corruption", "sensor-noise",
+                         "cross-algorithm"};
   const char* ids[] = {"E1", "E2", "E3", "E4", "E5",
-                       "E6", "E8", "E9", "E10", "E11"};
+                       "E6", "E8", "E9", "E10", "E11", "E12"};
   for (std::size_t i = 0; i < experiments.size(); ++i) {
     EXPECT_EQ(experiments[i].name, names[i]);
     EXPECT_EQ(experiments[i].id, ids[i]);
@@ -43,6 +44,31 @@ TEST(Registry, FindsByNameAndById) {
   EXPECT_EQ(by_name, by_id);
   EXPECT_EQ(registry.find("bogus"), nullptr);
   EXPECT_EQ(registry.find("E7"), nullptr);  // bench_micro is not registered.
+}
+
+TEST(Registry, CrossAlgorithmExperimentCoversEveryPluginAndScheduler) {
+  const auto* e = ExperimentRegistry::instance().find("cross-algorithm");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e, ExperimentRegistry::instance().find("E12"));
+
+  ScenarioSpec spec = e->defaults;
+  spec.ns = {8};
+  spec.runs = 2;
+  const ExperimentResult result = e->run(spec, ExperimentContext{});
+
+  // One row per (registered algorithm, scheduler).
+  EXPECT_EQ(result.rows.size(), 5u * 3u);
+  ASSERT_GE(result.columns.size(), 4u);
+  EXPECT_EQ(result.columns[0], "algorithm");
+  for (const char* algorithm :
+       {"async-log", "seq-baseline", "ssync-parallel", "grid-cv",
+        "mutual-vis"}) {
+    std::size_t rows = 0;
+    for (const auto& row : result.rows) {
+      if (row[0].text == algorithm) ++rows;
+    }
+    EXPECT_EQ(rows, 3u) << algorithm;
+  }
 }
 
 TEST(Registry, DefaultSpecsRoundTripByteIdentically) {

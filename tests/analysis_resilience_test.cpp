@@ -364,6 +364,21 @@ TEST(Resilience, ValidSpecPassesValidation) {
   EXPECT_EQ(validate_campaign_spec(small_spec()), "");
 }
 
+TEST(Resilience, UnknownAlgorithmMessageListsRegisteredNames) {
+  CampaignSpec spec = small_spec();
+  spec.algorithm = "bogus";
+  const std::string error = validate_campaign_spec(spec);
+  EXPECT_NE(error.find("unknown algorithm \"bogus\""), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("valid:"), std::string::npos) << error;
+  for (const char* name :
+       {"async-log", "seq-baseline", "ssync-parallel", "grid-cv",
+        "mutual-vis"}) {
+    EXPECT_NE(error.find(name), std::string::npos)
+        << "message must list " << name << ": " << error;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cooperative stop.
 

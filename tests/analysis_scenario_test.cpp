@@ -88,6 +88,37 @@ TEST(Scenario, MissingKeysKeepDefaults) {
   EXPECT_EQ(parsed.spec->run.scheduler, defaults.run.scheduler);
 }
 
+TEST(Scenario, PluginAlgorithmNamesRoundTrip) {
+  for (const char* name : {"grid-cv", "mutual-vis"}) {
+    ScenarioSpec spec;
+    spec.algorithm = name;
+    if (std::string(name) == "grid-cv") {
+      spec.family = gen::ConfigFamily::kLattice;
+    }
+    const std::string text = scenario_to_json(spec);
+    const auto parsed = scenario_from_json(text);
+    ASSERT_TRUE(parsed.spec.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.spec->algorithm, name);
+    EXPECT_EQ(scenario_to_json(*parsed.spec), text);
+  }
+}
+
+TEST(Scenario, UnknownAlgorithmIsRejectedAtParseTimeWithValidList) {
+  const auto parsed = scenario_from_json(
+      R"({"type": "lumen-scenario", "version": 1, "algorithm": "bogus"})");
+  ASSERT_FALSE(parsed.spec.has_value());
+  EXPECT_NE(parsed.error.find("unknown algorithm \"bogus\""),
+            std::string::npos)
+      << parsed.error;
+  EXPECT_NE(parsed.error.find("valid:"), std::string::npos) << parsed.error;
+  for (const char* name :
+       {"async-log", "seq-baseline", "ssync-parallel", "grid-cv",
+        "mutual-vis"}) {
+    EXPECT_NE(parsed.error.find(name), std::string::npos)
+        << "error must list " << name << ": " << parsed.error;
+  }
+}
+
 TEST(Scenario, RejectsMalformedDocuments) {
   const char* bad[] = {
       "not json at all",

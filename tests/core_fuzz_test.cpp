@@ -90,7 +90,8 @@ TEST_P(AlgorithmFuzzTest, BoundedTargets) {
 
 INSTANTIATE_TEST_SUITE_P(All, AlgorithmFuzzTest,
                          ::testing::Values("async-log", "seq-baseline",
-                                           "ssync-parallel"));
+                                           "ssync-parallel", "grid-cv",
+                                           "mutual-vis"));
 
 }  // namespace
 }  // namespace lumen::core

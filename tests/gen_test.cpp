@@ -86,11 +86,25 @@ TEST(Generators, DenseDiameterHasAnchorsAndThinBody) {
   }
 }
 
+TEST(Generators, LatticeFamilyIsDistinctIntegerPoints) {
+  const auto pts = generate(ConfigFamily::kLattice, 64, 5);
+  for (const Vec2& p : pts) {
+    EXPECT_EQ(p.x, std::nearbyint(p.x));
+    EXPECT_EQ(p.y, std::nearbyint(p.y));
+  }
+  // Distinct integer points are at least one unit apart.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GE(geom::norm(pts[i] - pts[j]), 1.0);
+    }
+  }
+}
+
 TEST(Generators, FamilyNamesRoundTrip) {
   for (const auto f : all_families()) {
     EXPECT_NE(to_string(f), "?");
   }
-  EXPECT_EQ(all_families().size(), 9u);
+  EXPECT_EQ(all_families().size(), 10u);
 }
 
 TEST(Generators, DifferentFamiliesDifferAtSameSeed) {

@@ -142,6 +142,8 @@ struct Scenario {
 
 constexpr auto kDisk = gen::ConfigFamily::kUniformDisk;
 constexpr auto kRing = gen::ConfigFamily::kRingWithCore;
+constexpr auto kLattice = gen::ConfigFamily::kLattice;
+constexpr auto kCollinear = gen::ConfigFamily::kCollinear;
 
 // Digests captured from the seed engines (commit e8248a4); every entry was
 // re-verified identical across the ExecutionCore refactor.
@@ -186,6 +188,20 @@ const Scenario kScenarios[] = {
     {"async-stay-nonrigid", "probe-stay", SchedulerKind::kAsync,
      sched::ActivationKind::kRandomHalf, sched::AdversaryKind::kUniform, kDisk,
      10, 7, false, true, false, true, 0xe85142dab6edb307ULL},
+    // Plugin algorithms (grid motion model / mutual-visibility predicate);
+    // digests captured at the plugin-framework commit via GOLDEN_DUMP.
+    {"grid-cv-lattice-async", "grid-cv", SchedulerKind::kAsync,
+     sched::ActivationKind::kRandomHalf, sched::AdversaryKind::kUniform,
+     kLattice, 16, 21, true, true, false, true, 0x75f6aba667366f17ULL},
+    {"grid-cv-lattice-fsync", "grid-cv", SchedulerKind::kFsync,
+     sched::ActivationKind::kAll, sched::AdversaryKind::kUniform, kLattice, 12,
+     9, true, true, false, true, 0x7b3056d45912663aULL},
+    {"mutual-vis-collinear-async", "mutual-vis", SchedulerKind::kAsync,
+     sched::ActivationKind::kRandomHalf, sched::AdversaryKind::kUniform,
+     kCollinear, 12, 5, true, true, false, true, 0x0e039c33356fe009ULL},
+    {"mutual-vis-ssync", "mutual-vis", SchedulerKind::kSsync,
+     sched::ActivationKind::kRandomHalf, sched::AdversaryKind::kUniform, kDisk,
+     16, 7, true, true, false, true, 0xddc94f86894033cfULL},
 };
 
 RunResult run_scenario(const Scenario& s) {
