@@ -22,6 +22,7 @@
 #include "geom/circle.hpp"
 #include "geom/hull.hpp"
 #include "geom/predicates.hpp"
+#include "geom/simd.hpp"
 #include "geom/visibility.hpp"
 #include "model/snapshot.hpp"
 #include "sim/run.hpp"
@@ -179,6 +180,61 @@ BENCHMARK(BM_VisibleFromSoA)
     ->Arg(4096)
     ->Arg(65536)
     ->Complexity();
+
+void BM_BuildKeys(benchmark::State& state) {
+  // The batched SoA key build in isolation — the stage the SIMD dispatch
+  // vectorizes (subtraction, half-plane split, diamond key, presort
+  // records). Runs at whatever level the dispatcher selected; set
+  // LUMEN_SIMD=scalar|sse2|avx2 to pin one. The context section records
+  // the level this binary actually ran.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 3);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    xs[j] = pts[j].x;
+    ys[j] = pts[j].y;
+  }
+  lumen::geom::VisibilityScratch scratch;
+  const lumen::geom::Vec2 o{xs[0], ys[0]};
+  lumen::geom::simd::build_keys_soa(xs.data(), ys.data(), n, 0, o, scratch);
+  const std::size_t allocs_before = alloc_count();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    lumen::geom::simd::build_keys_soa(xs.data(), ys.data(), n, i,
+                                      {xs[i], ys[i]}, scratch);
+    benchmark::DoNotOptimize(scratch.upper.data());
+    benchmark::DoNotOptimize(scratch.lower.data());
+    i = (i + 1) % n;
+  }
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - allocs_before) /
+      static_cast<double>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildKeys)->Arg(256)->Arg(4096)->Arg(65536)->Complexity(benchmark::oN);
+
+void BM_HullCull(benchmark::State& state) {
+  // The batched Akl–Toussaint certify-only cull in isolation: one mask
+  // sweep over n points against the coordinate-extreme quad.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 2);
+  std::size_t iw = 0, ie = 0, is = 0, in = 0;
+  for (std::size_t j = 1; j < n; ++j) {
+    if (pts[j].x < pts[iw].x) iw = j;
+    if (pts[j].x > pts[ie].x) ie = j;
+    if (pts[j].y < pts[is].y) is = j;
+    if (pts[j].y > pts[in].y) in = j;
+  }
+  const Vec2 quad[4] = {pts[iw], pts[is], pts[ie], pts[in]};
+  std::vector<std::uint8_t> inside(n);
+  for (auto _ : state) {
+    lumen::geom::simd::hull_cull_mask(pts.data(), n, quad, inside.data());
+    benchmark::DoNotOptimize(inside.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HullCull)->Arg(256)->Arg(4096)->Arg(65536)->Complexity(benchmark::oN);
 
 void BM_ComputeVisibility(benchmark::State& state) {
   const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 3);
@@ -391,6 +447,19 @@ int main(int argc, char** argv) {
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, args.data());
   if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  // library_build_type in the JSON reports how google-benchmark ITSELF was
+  // compiled (a debug system package taints it irreparably); what the
+  // regression gate must trust is how THIS binary — the code under test —
+  // was compiled. compare_bench.py hard-fails on anything but "release".
+#ifdef NDEBUG
+  benchmark::AddCustomContext("lumen_build_type", "release");
+#else
+  benchmark::AddCustomContext("lumen_build_type", "debug");
+#endif
+  benchmark::AddCustomContext(
+      "lumen_simd",
+      std::string(lumen::geom::simd::to_string(
+          lumen::geom::simd::active_level())));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

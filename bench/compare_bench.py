@@ -8,10 +8,12 @@ Usage:
 Compares real_time of every benchmark present in BOTH files and exits
 non-zero if any gated kernel regressed by more than --threshold (fractional;
 0.20 = 20%). By default only the visibility and round-step kernels are
-gated -- the ones the in-run parallelism work optimizes and CI protects:
+gated -- the ones the in-run parallelism and SIMD work optimize and CI
+protects:
 
     BM_VisibleFrom/*  BM_VisibleFromSoA/*  BM_ComputeVisibility/*
-    BM_SsyncRoundStep/*  BM_IncrementalRound/*
+    BM_SsyncRoundStep/*  BM_IncrementalRound/*  BM_BuildKeys/*
+    BM_HullCull/*
 
 Pass --all to gate every shared benchmark instead.
 
@@ -27,11 +29,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 GATED_PREFIXES = ("BM_VisibleFrom", "BM_ComputeVisibility/",
                   "BM_ComputeVisibility_", "BM_SsyncRoundStep/",
-                  "BM_IncrementalRound/")
+                  "BM_IncrementalRound/", "BM_BuildKeys/", "BM_HullCull/")
+
+
+def build_type_of(path):
+    """The build type the file was recorded from.
+
+    bench_micro stamps ``lumen_build_type`` into the context from its own
+    NDEBUG setting; that is authoritative. ``library_build_type`` (written
+    by the benchmark LIBRARY) is the fallback for old files — note distro
+    packages of google-benchmark are often debug builds, which makes that
+    key "debug" even for a fully optimized bench binary; the lumen key
+    exists precisely to disambiguate.
+    """
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    return ctx.get("lumen_build_type", ctx.get("library_build_type", "unknown"))
 
 
 def load_times(path):
@@ -71,7 +89,27 @@ def main(argv):
     ap.add_argument("--all", action="store_true",
                     help="gate every shared benchmark, not just the "
                          "visibility/round-step kernels")
+    ap.add_argument("--allow-non-release", action="store_true",
+                    help="compare files recorded from non-Release builds "
+                         "anyway (numbers are meaningless for gating)")
     args = ap.parse_args(argv)
+
+    # Debug-build numbers gate nothing: a baseline recorded from a debug
+    # build makes every Release run look 5-10x faster and vice versa. Both
+    # sides must be Release builds (the poisoned-baseline failure mode this
+    # guard exists for was exactly that: a debug-recorded baseline committed
+    # as the reference).
+    if not args.allow_non_release:
+        bad = [(p, bt) for p, bt in ((args.baseline, build_type_of(args.baseline)),
+                                     (args.current, build_type_of(args.current)))
+               if bt != "release"]
+        if bad:
+            for path, bt in bad:
+                print(f"error: {path} was recorded from a '{bt}' build; "
+                      f"gating requires Release-recorded numbers on both "
+                      f"sides (--allow-non-release to compare anyway)",
+                      file=sys.stderr)
+            return 2
 
     base = load_times(args.baseline)
     cur = load_times(args.current)
@@ -118,6 +156,23 @@ def main(argv):
         elif gated:
             flag = "  (gated)"
         print(f"{name:<44} {b:>12.4g} {c:>12.4g} {ratio:>8.3f}{flag}")
+
+    # Per-family roll-up: geometric mean of the before/after ratios of every
+    # size in the family (the name up to the first '/'), so a sweep like
+    # BM_VisibleFromSoA/{256,4096,65536} reads as one number and a
+    # regression confined to a single size still stands out above.
+    families = {}
+    for name in shared:
+        fam = name.split("/")[0]
+        b = base[name] / base_scale
+        c = cur[name] / cur_scale
+        if b > 0 and c > 0:
+            families.setdefault(fam, []).append(c / b)
+    print(f"\n{'family':<44} {'n':>3} {'geomean ratio':>14}")
+    for fam in sorted(families):
+        ratios = families[fam]
+        geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print(f"{fam:<44} {len(ratios):>3} {geo:>14.3f}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} gated kernel(s) regressed more than "

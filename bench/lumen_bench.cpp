@@ -18,6 +18,7 @@
 #include "analysis/journal.hpp"
 #include "analysis/reporter.hpp"
 #include "core/registry.hpp"
+#include "geom/simd.hpp"
 #include "util/cli.hpp"
 
 #include <algorithm>
@@ -108,6 +109,14 @@ int cmd_describe(const std::vector<std::string>& args) {
     std::cerr << "error: describe needs an experiment or algorithm name\n";
     return 2;
   }
+  // Numbers read off this host depend on which batch-kernel ISA the
+  // geometry layer dispatched to; say so up front (the override knob is
+  // LUMEN_SIMD=scalar|sse2|avx2|neon, unsupported values clamp down).
+  std::cout << "simd dispatch: "
+            << geom::simd::to_string(geom::simd::active_level())
+            << " (best supported: "
+            << geom::simd::to_string(geom::simd::best_supported_level())
+            << ", override with LUMEN_SIMD)\n\n";
   const auto* e = analysis::ExperimentRegistry::instance().find(args[0]);
   if (e != nullptr) {
     std::cout << e->id << " " << e->name << "\n\n"

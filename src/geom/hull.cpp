@@ -1,6 +1,7 @@
 #include "geom/hull.hpp"
 
 #include "geom/predicates.hpp"
+#include "geom/simd.hpp"
 #include "util/radix.hpp"
 
 #include <algorithm>
@@ -12,60 +13,98 @@ namespace lumen::geom {
 
 namespace {
 
-/// Monotone 32-bit presort key for an x-coordinate: round to float
-/// (round-to-nearest is monotone, so DISTINCT keys certify the double
-/// order) and remap the sign bit so unsigned order matches numeric order.
-/// Only runs of EQUAL keys can hide an exactly-ordered pair, so those runs
-/// alone are re-sorted with the full (x, y, index) comparator.
-inline std::uint32_t x_presort_key(double x) noexcept {
-  const std::uint32_t u = std::bit_cast<std::uint32_t>(static_cast<float>(x));
-  return (u & 0x80000000u) != 0 ? ~u : (u | 0x80000000u);
-}
-
-/// True only when the stage-A filter CERTIFIES orient2d(a, b, c) > 0 (c
-/// strictly left of a->b). No exact fallback: an uncertain sign returns
-/// false, which the interior cull below treats as "keep the point" — sound,
-/// because a false negative merely forgoes a discard.
-inline bool certainly_left(Vec2 a, Vec2 b, Vec2 c) noexcept {
-  const double detleft = (a.x - c.x) * (b.y - c.y);
-  const double detright = (a.y - c.y) * (b.x - c.x);
-  const double det = detleft - detright;
-  if (!(det > 0.0)) return false;
-  double detsum = 0.0;
-  if (detleft > 0.0) {
-    if (detright <= 0.0) return true;  // Opposite signs: det sign is exact.
-    detsum = detleft + detright;
-  } else if (detleft < 0.0) {
-    detsum = -detleft - detright;  // det > 0 forces detright < detleft < 0.
-  } else {
-    return false;  // detleft rounded to zero: cannot certify.
-  }
-  return det >= detail::kCcwErrBoundA * detsum;
+/// Monotone 64-bit image of a double coordinate: unsigned order of the key
+/// equals numeric order of the value (sign bit remapped; -0.0 canonicalized
+/// to +0.0 by the `+ 0.0` so the two zero encodings map to one key). The
+/// image is EXACT — equal keys mean equal doubles — so a stable radix sort
+/// by this key is already the exact coordinate order, with no approximate-
+/// key tie runs to repair.
+inline std::uint64_t coord_key64(double v) noexcept {
+  const std::uint64_t u = std::bit_cast<std::uint64_t>(v + 0.0);
+  return (u & 0x8000000000000000ull) != 0 ? ~u : (u | 0x8000000000000000ull);
 }
 
 /// Below this size the extreme-quad cull costs more than the chain work it
 /// saves. Output-neutral: the cull never changes the hull, only its cost.
 inline constexpr std::size_t kCullMin = 32;
 
+/// Exact lexicographic (x, y, index) sort of the fringe records, where
+/// record.key is coord_key64(x) and the y/index tie-breaks read the points.
+/// One monotone value-bucket scatter (bucket = (x - min_x) * scale, so
+/// bucket order equals key order and equal keys share a bucket) followed by
+/// exact per-bucket comparison sorts of the tiny runs — the same shape as
+/// util::sort_f32key_records, but with the double coordinate as the bucket
+/// value and the full three-way comparator as the finish. Chaining two
+/// 8-pass 64-bit LSD radix sorts here costs 16 histogram+scatter sweeps and
+/// loses ~2x to this at realistic sizes; the bucketed form does one.
+inline void sort_fringe_records(std::vector<util::Key64Record>& records,
+                                std::vector<util::Key64Record>& tmp,
+                                std::span<const Vec2> points, double min_x,
+                                double max_x) {
+  const std::size_t m = records.size();
+  const auto exact_less = [&points](const util::Key64Record& a,
+                                    const util::Key64Record& b) {
+    if (a.key != b.key) return a.key < b.key;  // Exact x order.
+    const Vec2 pa = points[a.slot];
+    const Vec2 pb = points[b.slot];
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return a.slot < b.slot;
+  };
+  if (m < util::kRadixMinRecords || !(max_x > min_x)) {
+    // Tiny fringe, or every x equal (degenerate quad): compare-sort.
+    std::sort(records.begin(), records.end(), exact_less);
+    return;
+  }
+  const std::size_t nb =
+      std::min<std::size_t>(std::bit_floor(m), std::size_t{1} << 13);
+  const double scale = static_cast<double>(nb) / (max_x - min_x);
+  const auto bucket_of = [&](const util::Key64Record& r) {
+    const auto b = static_cast<std::size_t>(
+        (points[r.slot].x - min_x) * scale);
+    return b < nb ? b : nb - 1;
+  };
+  std::vector<std::size_t> cursors(nb + 1, 0);
+  for (const util::Key64Record& r : records) ++cursors[bucket_of(r) + 1];
+  for (std::size_t b = 1; b <= nb; ++b) cursors[b] += cursors[b - 1];
+  tmp.resize(m);
+  for (const util::Key64Record& r : records) tmp[cursors[bucket_of(r)]++] = r;
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t end = cursors[b];  // Post-scatter: one past bucket b.
+    if (end - begin > 1) {
+      std::sort(tmp.begin() + static_cast<std::ptrdiff_t>(begin),
+                tmp.begin() + static_cast<std::ptrdiff_t>(end), exact_less);
+    }
+    begin = end;
+  }
+  records.swap(tmp);
+}
+
 }  // namespace
 
 std::vector<std::size_t> convex_hull_indices(std::span<const Vec2> points) {
   const std::size_t n = points.size();
-  // Lexicographic (x, y, index) sort, radix-presorted by a rounded x key.
-  // The index tie-break makes the order — and hence the surviving
-  // duplicate below — deterministic across library sort implementations.
-  std::vector<std::uint64_t> records;
-  std::vector<std::uint64_t> tmp;
+  // Exact lexicographic (x, y, index) sort: records carry the monotone
+  // 64-bit image of x (so the primary comparison is one integer compare and
+  // -0.0/+0.0 collapse), sort_fringe_records buckets by the x value and
+  // finishes each tiny bucket with the exact (x, y, index) comparator. The
+  // index tie-break makes the order — and hence the surviving duplicate
+  // below — deterministic.
+  std::vector<util::Key64Record> records;
+  std::vector<util::Key64Record> tmp;
   records.reserve(n);
+  double min_x = 0.0;
+  double max_x = 0.0;
   if (n >= kCullMin) {
     // Akl–Toussaint interior cull: a point certifiably STRICTLY inside the
     // quadrilateral of the four coordinate-extreme points is strictly
     // inside the hull, so the monotone chain below could never emit it.
     // Dropping such points first shrinks both the sort and the chain to the
     // candidate fringe while leaving the output bit-identical — the
-    // certify-only test keeps every point the filter cannot decide, and on
-    // fully collinear input (degenerate quad) it certifies nothing, so the
-    // degenerate branch still sees the complete sorted order.
+    // certify-only test (geom/simd.hpp: the batched stage-A filter) keeps
+    // every point it cannot decide, and on fully collinear input
+    // (degenerate quad) it certifies nothing, so the degenerate branch
+    // still sees the complete sorted order.
     std::size_t iw = 0, ie = 0, is = 0, in = 0;
     for (std::size_t j = 1; j < n; ++j) {
       if (points[j].x < points[iw].x) iw = j;
@@ -74,50 +113,25 @@ std::vector<std::size_t> convex_hull_indices(std::span<const Vec2> points) {
       if (points[j].y > points[in].y) in = j;
     }
     // CCW corner order: west, south, east, north.
-    const Vec2 cw = points[iw];
-    const Vec2 cs = points[is];
-    const Vec2 ce = points[ie];
-    const Vec2 cn = points[in];
+    const Vec2 quad[4] = {points[iw], points[is], points[ie], points[in]};
+    std::vector<std::uint8_t> inside(n);
+    simd::hull_cull_mask(points.data(), n, quad, inside.data());
     for (std::uint32_t j = 0; j < n; ++j) {
-      const Vec2 p = points[j];
-      if (certainly_left(cw, cs, p) && certainly_left(cs, ce, p) &&
-          certainly_left(ce, cn, p) && certainly_left(cn, cw, p)) {
-        continue;
-      }
-      records.push_back((std::uint64_t{x_presort_key(p.x)} << 32) | j);
+      if (inside[j] != 0) continue;
+      records.push_back(util::Key64Record{coord_key64(points[j].x), j});
     }
+    min_x = points[iw].x;
+    max_x = points[ie].x;
   } else {
     for (std::uint32_t j = 0; j < n; ++j) {
-      records.push_back(
-          (std::uint64_t{x_presort_key(points[j].x)} << 32) | j);
+      records.push_back(util::Key64Record{coord_key64(points[j].x), j});
     }
   }
-  const std::size_t kept = records.size();
-  util::sort_key32_records(records, tmp);
-  const auto exact_less = [&](std::uint64_t a, std::uint64_t b) {
-    const Vec2 pa = points[static_cast<std::uint32_t>(a)];
-    const Vec2 pb = points[static_cast<std::uint32_t>(b)];
-    if (pa.x != pb.x) return pa.x < pb.x;
-    if (pa.y != pb.y) return pa.y < pb.y;
-    return static_cast<std::uint32_t>(a) < static_cast<std::uint32_t>(b);
-  };
-  const auto rec = [&](std::size_t k) {
-    return records.begin() + static_cast<std::ptrdiff_t>(k);
-  };
-  std::size_t run_begin = 0;
-  for (std::size_t k = 1; k < kept; ++k) {
-    if ((records[k] >> 32) != (records[run_begin] >> 32)) {
-      if (k - run_begin > 1) std::sort(rec(run_begin), rec(k), exact_less);
-      run_begin = k;
-    }
-  }
-  if (kept - run_begin > 1) {
-    std::sort(rec(run_begin), records.end(), exact_less);
-  }
+  sort_fringe_records(records, tmp, points, min_x, max_x);
   std::vector<std::size_t> order;
-  order.reserve(kept);
-  for (const std::uint64_t r : records) {
-    order.push_back(static_cast<std::uint32_t>(r));
+  order.reserve(records.size());
+  for (const util::Key64Record& r : records) {
+    order.push_back(r.slot);
   }
   // Drop exact duplicates (keep the first occurrence in sorted order).
   order.erase(std::unique(order.begin(), order.end(),

@@ -1,0 +1,365 @@
+// lumen_geom: generic W-lane vector kernels (GCC/Clang vector extensions).
+//
+// Included by one translation unit per dispatch level with
+// LUMEN_SIMD_LANES defined (2 for SSE2/NEON, 4 for AVX2), inside that
+// level's namespace; the including TU is compiled with the matching -m
+// flags and MUST be compiled with -ffp-contract=off so no fused
+// multiply-add changes a rounding (the whole library builds that way; the
+// bit-identity contract depends on it).
+//
+// Every lane evaluates exactly the scalar formulas from simd_common.hpp /
+// visibility_detail.hpp: same IEEE operations, same order. Divisions are
+// folded to one per vector by selecting numerator/denominator first
+// (t = cond ? sy/(sx+sy) : 1 + (-sx)/(sy-sx) computes the SAME quotient
+// either way once num/den are selected, so the rounding is unchanged).
+// Lanes the batch cannot handle (block tails) fall back to the scalar
+// helpers, which are the reference semantics by definition.
+
+static_assert(LUMEN_SIMD_LANES == 2 || LUMEN_SIMD_LANES == 4,
+              "supported widths: 2 (128-bit) and 4 (256-bit)");
+static_assert(sizeof(geom::Vec2) == 2 * sizeof(double),
+              "the AoS deinterleave assumes Vec2 is two packed doubles");
+static_assert(sizeof(geom::AngularKey) == 32,
+              "the transposed key store assumes a packed 32-byte AngularKey");
+
+inline constexpr std::size_t kLanes = LUMEN_SIMD_LANES;
+
+typedef double vd __attribute__((vector_size(LUMEN_SIMD_LANES * 8)));
+typedef std::int64_t vi __attribute__((vector_size(LUMEN_SIMD_LANES * 8)));
+typedef float vf __attribute__((vector_size(LUMEN_SIMD_LANES * 4)));
+
+inline vd load_pd(const double* p) noexcept {
+  vd v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Counts, over [begin, end), the points in the upper half-plane and the
+/// points distinct from the observer — the exact split build_keys_soa will
+/// append, so the key vectors can reserve their true sizes.
+inline void count_range(const double* xs, const double* ys, std::size_t begin,
+                        std::size_t end, geom::Vec2 o, std::size_t& n_upper,
+                        std::size_t& n_valid) noexcept {
+  const vd zero = {};
+  const vd ox = zero + o.x;
+  const vd oy = zero + o.y;
+  vi acc_up = {};
+  vi acc_co = {};
+  std::size_t j = begin;
+  for (; j + kLanes <= end; j += kLanes) {
+    const vd dx = load_pd(xs + j) - ox;
+    const vd dy = load_pd(ys + j) - oy;
+    const vi up = (dy > zero) | ((dy == zero) & (dx > zero));
+    const vi co = (dx == zero) & (dy == zero);
+    acc_up += up;  // Each true lane contributes -1.
+    acc_co += co;
+  }
+  std::int64_t up_hits = 0;
+  std::int64_t co_hits = 0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    up_hits -= acc_up[l];
+    co_hits -= acc_co[l];
+  }
+  std::size_t valid = (j - begin) - static_cast<std::size_t>(co_hits);
+  std::size_t upper = static_cast<std::size_t>(up_hits);
+  for (; j < end; ++j) {
+    const double dx = xs[j] - o.x;
+    const double dy = ys[j] - o.y;
+    if (dx == 0.0 && dy == 0.0) continue;
+    ++valid;
+    if (dy > 0.0 || (dy == 0.0 && dx > 0.0)) ++upper;
+  }
+  n_upper += upper;
+  n_valid += valid;
+}
+
+/// Write cursors into the exactly-resized output vectors: compress-store
+/// lands each key at its final slot with plain stores, skipping the
+/// size/capacity bookkeeping a push_back per lane would pay.
+struct KeySink {
+  geom::AngularKey* up_keys;
+  std::uint64_t* up_order;
+  geom::AngularKey* lo_keys;
+  std::uint64_t* lo_order;
+  std::size_t up_pos = 0;
+  std::size_t lo_pos = 0;
+};
+
+/// Builds and appends the angular keys of [begin, end): vector lanes for
+/// full blocks, the scalar reference formulas for the tail.
+inline void append_range(const double* xs, const double* ys, std::size_t begin,
+                         std::size_t end, geom::Vec2 o, KeySink& sink) {
+  const vd zero = {};
+  const vd ox = zero + o.x;
+  const vd oy = zero + o.y;
+  const vd one = zero + 1.0;
+  std::size_t j = begin;
+  for (; j + kLanes <= end; j += kLanes) {
+    const vd dx = load_pd(xs + j) - ox;
+    const vd dy = load_pd(ys + j) - oy;
+    const vi up = (dy > zero) | ((dy == zero) & (dx > zero));
+    const vi co = (dx == zero) & (dy == zero);
+    // Normalize lower-half lanes to their antipode (what the scalar path
+    // feeds diamond_key), then evaluate the diamond pseudo-angle with one
+    // division per vector.
+    const vd sx = up ? dx : -dx;
+    const vd sy = up ? dy : -dy;
+    const vi cond = sx >= zero;
+    const vd num = cond ? sy : -sx;
+    const vd den = cond ? sx + sy : sy - sx;
+    const vd q = num / den;
+    const vd t = cond ? q : one + q;
+    const vf akey = __builtin_convertvector(t, vf) + 0.0f;
+    const vd d2 = dx * dx + dy * dy;
+    // Compress-store: partition the block into the upper/lower key arrays.
+    // Lane order is ascending j, so within each half the append order is
+    // identical to the scalar loop's. The destination is selected
+    // branchlessly (the up/lo split of random input is a coin flip — a
+    // branch here mispredicts ~half the points); only the coincident skip
+    // stays a branch, because it is almost never taken.
+#if LUMEN_SIMD_LANES == 4
+    // Transpose (dx, dy, d2, pack) from lane-major to key-major so each
+    // lane's 32-byte AngularKey image lands with ONE vector store instead
+    // of four element extracts. pack interleaves the akey bits (low dword)
+    // with the point index (high dword), matching the struct's tail qword
+    // on a little-endian layout. The stored bytes are exactly the ones the
+    // per-field writes would produce — this is data movement only.
+    typedef std::uint32_t vu4 __attribute__((vector_size(16)));
+    const vu4 akbits = (vu4)akey;
+    const vu4 idx = {static_cast<std::uint32_t>(j),
+                     static_cast<std::uint32_t>(j + 1),
+                     static_cast<std::uint32_t>(j + 2),
+                     static_cast<std::uint32_t>(j + 3)};
+    const vu4 p01 = __builtin_shufflevector(akbits, idx, 0, 4, 1, 5);
+    const vu4 p23 = __builtin_shufflevector(akbits, idx, 2, 6, 3, 7);
+    const vd pack =
+        (vd)__builtin_shufflevector(p01, p23, 0, 1, 2, 3, 4, 5, 6, 7);
+    const vd lo01 = __builtin_shufflevector(dx, dy, 0, 4, 1, 5);
+    const vd lo23 = __builtin_shufflevector(dx, dy, 2, 6, 3, 7);
+    const vd hi01 = __builtin_shufflevector(d2, pack, 0, 4, 1, 5);
+    const vd hi23 = __builtin_shufflevector(d2, pack, 2, 6, 3, 7);
+    const vd key_img[4] = {
+        __builtin_shufflevector(lo01, hi01, 0, 1, 4, 5),
+        __builtin_shufflevector(lo01, hi01, 2, 3, 6, 7),
+        __builtin_shufflevector(lo23, hi23, 0, 1, 4, 5),
+        __builtin_shufflevector(lo23, hi23, 2, 3, 6, 7),
+    };
+    // Both-sides store: each lane writes its key and record to BOTH halves
+    // at their current cursors and only the correct half's cursor advances.
+    // The stray write either gets overwritten by that half's next real
+    // append (same slot — its cursor never moved) or lies beyond the final
+    // fill and is discarded by the exact resize-down, so the visible bytes
+    // are untouched; in exchange the loop carries no data-dependent select
+    // on the store address. Requires the one-slot slack build_keys_soa
+    // allocates.
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      if (co[l] != 0) continue;
+      const std::size_t is_up = up[l] != 0 ? 1 : 0;
+      sink.up_order[sink.up_pos] =
+          simd::detail::order_record(akey[l], sink.up_pos);
+      sink.lo_order[sink.lo_pos] =
+          simd::detail::order_record(akey[l], sink.lo_pos);
+      __builtin_memcpy(static_cast<void*>(sink.up_keys + sink.up_pos),
+                       &key_img[l], sizeof(geom::AngularKey));
+      __builtin_memcpy(static_cast<void*>(sink.lo_keys + sink.lo_pos),
+                       &key_img[l], sizeof(geom::AngularKey));
+      sink.up_pos += is_up;
+      sink.lo_pos += 1 - is_up;
+    }
+#else
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      if (co[l] != 0) continue;
+      const bool is_up = up[l] != 0;
+      const std::size_t slot = is_up ? sink.up_pos : sink.lo_pos;
+      geom::AngularKey* const kdst = is_up ? sink.up_keys : sink.lo_keys;
+      std::uint64_t* const odst = is_up ? sink.up_order : sink.lo_order;
+      odst[slot] = simd::detail::order_record(akey[l], slot);
+      kdst[slot] = geom::AngularKey{geom::Vec2{dx[l], dy[l]}, d2[l], akey[l],
+                                    static_cast<std::uint32_t>(j + l)};
+      sink.up_pos += is_up ? 1 : 0;
+      sink.lo_pos += is_up ? 0 : 1;
+    }
+#endif
+  }
+  for (; j < end; ++j) {
+    const double dx = xs[j] - o.x;
+    const double dy = ys[j] - o.y;
+    if (dx == 0.0 && dy == 0.0) continue;
+    const geom::Vec2 d{dx, dy};
+    const auto jj = static_cast<std::uint32_t>(j);
+    if (geom::detail::half_of(d) == 0) {
+      const float ak = geom::detail::diamond_key(d);
+      sink.up_order[sink.up_pos] = simd::detail::order_record(ak, sink.up_pos);
+      sink.up_keys[sink.up_pos] = geom::AngularKey{d, norm_sq(d), ak, jj};
+      ++sink.up_pos;
+    } else {
+      const float ak = geom::detail::diamond_key(geom::Vec2{-d.x, -d.y});
+      sink.lo_order[sink.lo_pos] = simd::detail::order_record(ak, sink.lo_pos);
+      sink.lo_keys[sink.lo_pos] = geom::AngularKey{d, norm_sq(d), ak, jj};
+      ++sink.lo_pos;
+    }
+  }
+}
+
+void build_keys_soa(const double* xs, const double* ys, std::size_t n,
+                    std::size_t i, geom::Vec2 o,
+                    geom::VisibilityScratch& scratch) {
+  scratch.upper.clear();
+  scratch.lower.clear();
+  scratch.upper_order.clear();
+  scratch.lower_order.clear();
+  const std::size_t after = i + 1 < n ? i + 1 : n;
+  std::size_t n_upper = 0;
+  std::size_t n_valid = 0;
+  count_range(xs, ys, 0, i, o, n_upper, n_valid);
+  count_range(xs, ys, after, n, o, n_upper, n_valid);
+  // Exact sizing (the counting pass makes it free of guesswork) plus one
+  // slot of slack per array for the both-sides compress store; the final
+  // resize-down restores the exact sizes (trivially — no element work).
+  const std::size_t n_lower = n_valid - n_upper;
+  scratch.upper.resize(n_upper + 1);
+  scratch.upper_order.resize(n_upper + 1);
+  scratch.lower.resize(n_lower + 1);
+  scratch.lower_order.resize(n_lower + 1);
+  KeySink sink{scratch.upper.data(), scratch.upper_order.data(),
+               scratch.lower.data(), scratch.lower_order.data()};
+  append_range(xs, ys, 0, i, o, sink);
+  append_range(xs, ys, after, n, o, sink);
+  scratch.upper.resize(n_upper);
+  scratch.upper_order.resize(n_upper);
+  scratch.lower.resize(n_lower);
+  scratch.lower_order.resize(n_lower);
+}
+
+/// Batched form of util::sort_f32key_records: the float->bucket mapping of
+/// the histogram and scatter passes runs kLanes records at a time (extract
+/// the key floats from a block of records with one shuffle, one multiply,
+/// one truncating convert and one clamp); the increments and stores stay
+/// scalar, as they must. Bucket count, scale and the finishing pass are
+/// identical to the scalar routine, and the output — the full ascending
+/// 64-bit order — is canonical, so every level produces the same bytes no
+/// matter how the buckets were computed.
+void sort_f32key_records(std::vector<std::uint64_t>& records,
+                         std::vector<std::uint64_t>& tmp, float max_key) {
+  const std::size_t m = records.size();
+  if (m < util::kRadixMinRecords) {
+    std::sort(records.begin(), records.end());
+    return;
+  }
+  std::size_t nb = std::bit_floor(m);
+  if (nb > (std::size_t{1} << 13)) nb = std::size_t{1} << 13;
+  const float scale = static_cast<float>(nb) / max_key;
+  tmp.resize(nb + m);
+  std::uint64_t* const cursors = tmp.data();
+  std::uint64_t* const dst = tmp.data() + nb;
+  std::fill_n(cursors, nb, std::uint64_t{0});
+
+  typedef std::int32_t vs __attribute__((vector_size(LUMEN_SIMD_LANES * 4)));
+  typedef std::uint32_t vkey __attribute__((vector_size(LUMEN_SIMD_LANES * 4)));
+  typedef std::uint32_t vrec
+      __attribute__((vector_size(LUMEN_SIMD_LANES * 8)));
+  const vs cap = vs{} + static_cast<std::int32_t>(nb - 1);
+  // Buckets of kLanes consecutive records: the high dwords hold the float
+  // key bits; value * scale truncated matches the scalar size_t cast for
+  // every in-range key, and the clamp handles keys landing exactly on
+  // max_key the same way the scalar routine does.
+  const auto lane_buckets = [scale, cap](const std::uint64_t* p) noexcept {
+    vrec w;
+    __builtin_memcpy(&w, p, sizeof(w));
+#if LUMEN_SIMD_LANES == 4
+    const vkey hi = __builtin_shufflevector(w, w, 1, 3, 5, 7);
+#else
+    const vkey hi = __builtin_shufflevector(w, w, 1, 3);
+#endif
+    const vf keys = (vf)hi;
+    const vs b = __builtin_convertvector(keys * scale, vs);
+    return b < cap ? b : cap;
+  };
+  const auto scalar_bucket = [scale, nb](std::uint64_t rec) noexcept {
+    const float key =
+        std::bit_cast<float>(static_cast<std::uint32_t>(rec >> 32));
+    const auto b = static_cast<std::size_t>(key * scale);
+    return b < nb ? b : nb - 1;
+  };
+  const std::uint64_t* const rp = records.data();
+  std::size_t k = 0;
+  for (; k + kLanes <= m; k += kLanes) {
+    const vs b = lane_buckets(rp + k);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      ++cursors[static_cast<std::uint32_t>(b[l])];
+    }
+  }
+  for (; k < m; ++k) ++cursors[scalar_bucket(rp[k])];
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint64_t count = cursors[b];
+    cursors[b] = sum;
+    sum += count;
+  }
+  k = 0;
+  for (; k + kLanes <= m; k += kLanes) {
+    const vs b = lane_buckets(rp + k);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      dst[cursors[static_cast<std::uint32_t>(b[l])]++] = rp[k + l];
+    }
+  }
+  for (; k < m; ++k) dst[cursors[scalar_bucket(rp[k])]++] = rp[k];
+  util::sort_bucketed_runs(dst, cursors, nb);
+  std::memcpy(records.data(), dst, m * sizeof(std::uint64_t));
+}
+
+/// One quad edge's certify-only stage-A filter across a block of points:
+/// lanes where orient2d(a, b, p) > 0 is CERTIFIED (the same filter
+/// simd::detail::certainly_left applies, op for op).
+inline vi lanes_certainly_left(geom::Vec2 a, geom::Vec2 b, vd px,
+                               vd py) noexcept {
+  const vd zero = {};
+  const vd dl = (a.x - px) * (b.y - py);
+  const vd dr = (a.y - py) * (b.x - px);
+  const vd det = dl - dr;
+  // Decision-for-decision the scalar filter, with the branches folded into
+  // closed form. Opposite signs (dl > 0 >= dr) are exact and det > 0 holds
+  // outright. Otherwise the scalar detsum is |dl| + |dr| in every reachable
+  // case (dl > 0, dr > 0 adds them; det > 0 with dl < 0 forces dr < dl < 0,
+  // negating both; a bound pass with dl != 0 implies det >= kA*|dl| > 0, so
+  // the det > 0 test is subsumed), and dl == 0 lanes certify nothing.
+  const vi sign_exact = (dl > zero) & (dr <= zero);
+  const vi abs_mask = vi{} + std::int64_t{0x7fffffffffffffff};
+  const vd abs_sum = (vd)((vi)dl & abs_mask) + (vd)((vi)dr & abs_mask);
+  const vi bound_ok =
+      (dl != zero) & (det >= geom::detail::kCcwErrBoundA * abs_sum);
+  return sign_exact | bound_ok;
+}
+
+void hull_cull_mask(const geom::Vec2* pts, std::size_t n,
+                    const geom::Vec2 quad[4], std::uint8_t* inside) {
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    // Deinterleave kLanes packed Vec2 into x and y lanes.
+    const double* base = &pts[j].x;
+#if LUMEN_SIMD_LANES == 2
+    const vd v0 = load_pd(base);
+    const vd v1 = load_pd(base + 2);
+    const vd px = __builtin_shufflevector(v0, v1, 0, 2);
+    const vd py = __builtin_shufflevector(v0, v1, 1, 3);
+#else
+    const vd v0 = load_pd(base);
+    const vd v1 = load_pd(base + 4);
+    const vd px = __builtin_shufflevector(v0, v1, 0, 2, 4, 6);
+    const vd py = __builtin_shufflevector(v0, v1, 1, 3, 5, 7);
+#endif
+    const vi in = lanes_certainly_left(quad[0], quad[1], px, py) &
+                  lanes_certainly_left(quad[1], quad[2], px, py) &
+                  lanes_certainly_left(quad[2], quad[3], px, py) &
+                  lanes_certainly_left(quad[3], quad[0], px, py);
+    // Lane masks are 0 / ~0; narrowing keeps the low byte, so & 1 yields
+    // the 0/1 the scalar loop writes — stored as one kLanes-byte write.
+    typedef std::uint8_t vb __attribute__((vector_size(LUMEN_SIMD_LANES)));
+    const vb byte_mask =
+        __builtin_convertvector(in, vb) & (vb{} + std::uint8_t{1});
+    __builtin_memcpy(inside + j, &byte_mask, sizeof(byte_mask));
+  }
+  for (; j < n; ++j) {
+    inside[j] = simd::detail::inside_quad(quad, pts[j]) ? 1 : 0;
+  }
+}

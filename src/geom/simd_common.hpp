@@ -1,0 +1,73 @@
+// lumen_geom: scalar building blocks shared by every SIMD dispatch level.
+//
+// The vector kernels in simd_batch.inl process full lanes and delegate
+// block tails (and the whole input, at the scalar level) to these helpers,
+// so "what one point contributes" is defined in exactly one place. The
+// scalar formulas here ARE the bit-identity reference: a vector lane is
+// correct iff it reproduces these doubles bit for bit.
+#pragma once
+
+#include "geom/predicates.hpp"
+#include "geom/visibility.hpp"
+#include "geom/visibility_detail.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace lumen::geom::simd::detail {
+
+/// Packs the radix presort record for a key about to land at `slot` in its
+/// half (callers pass half.size() BEFORE the push_back).
+inline std::uint64_t order_record(float akey, std::size_t slot) noexcept {
+  return (std::uint64_t{std::bit_cast<std::uint32_t>(akey)} << 32) |
+         static_cast<std::uint32_t>(slot);
+}
+
+/// Appends point j's angular key (direction d = p - o, nonzero) to the
+/// half-partitioned key and presort-record vectors — one point of
+/// detail::build_keys, with the sort_half record build fused in.
+inline void append_key(Vec2 d, std::uint32_t j, VisibilityScratch& scratch) {
+  using geom::detail::diamond_key;
+  using geom::detail::half_of;
+  if (half_of(d) == 0) {
+    const float akey = diamond_key(d);
+    scratch.upper_order.push_back(order_record(akey, scratch.upper.size()));
+    scratch.upper.push_back(AngularKey{d, norm_sq(d), akey, j});
+  } else {
+    const float akey = diamond_key(Vec2{-d.x, -d.y});
+    scratch.lower_order.push_back(order_record(akey, scratch.lower.size()));
+    scratch.lower.push_back(AngularKey{d, norm_sq(d), akey, j});
+  }
+}
+
+/// True only when the stage-A filter CERTIFIES orient2d(a, b, c) > 0 (c
+/// strictly left of a->b). No exact fallback: an uncertain sign returns
+/// false, which the interior cull treats as "keep the point" — sound,
+/// because a false negative merely forgoes a discard.
+inline bool certainly_left(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+  if (!(det > 0.0)) return false;
+  double detsum = 0.0;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return true;  // Opposite signs: det sign is exact.
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    detsum = -detleft - detright;  // det > 0 forces detright < detleft < 0.
+  } else {
+    return false;  // detleft rounded to zero: cannot certify.
+  }
+  return det >= geom::detail::kCcwErrBoundA * detsum;
+}
+
+/// Scalar cull test for one point against the CCW quad, matching the
+/// vector lanes decision for decision.
+inline bool inside_quad(const Vec2 quad[4], Vec2 p) noexcept {
+  return certainly_left(quad[0], quad[1], p) &&
+         certainly_left(quad[1], quad[2], p) &&
+         certainly_left(quad[2], quad[3], p) &&
+         certainly_left(quad[3], quad[0], p);
+}
+
+}  // namespace lumen::geom::simd::detail

@@ -56,9 +56,12 @@ bool VisibilityGraph::complete() const noexcept {
 
 namespace {
 
-template <class PtFn>
-VisibilityGraph compute_visibility_impl(const PtFn& pt, std::size_t n,
-                                        util::ThreadPool* pool) {
+/// Shared graph fill over any per-observer sweep(i, scratch, out): the AoS
+/// entry point instantiates it with visible_from_impl, the SoA one with the
+/// batch-kernel sweep (visible_from_soa_impl).
+template <class SweepFn>
+VisibilityGraph compute_visibility_graph(std::size_t n, util::ThreadPool* pool,
+                                         const SweepFn& sweep) {
   VisibilityGraph g(n);
   if (pool != nullptr && n >= detail::kMinParallelObservers) {
     // Every observer writes only its own row; the per-observer relation is
@@ -74,7 +77,7 @@ VisibilityGraph compute_visibility_impl(const PtFn& pt, std::size_t n,
         n,
         [&](std::size_t slot, std::size_t i) {
           ObserverScratch& s = slots[slot];
-          detail::visible_from_impl(pt, n, i, s.scratch, s.out);
+          sweep(i, s.scratch, s.out);
           for (const std::size_t j : s.out) g.set_half(i, j);
         },
         /*grain=*/4);
@@ -83,7 +86,7 @@ VisibilityGraph compute_visibility_impl(const PtFn& pt, std::size_t n,
   VisibilityScratch scratch;
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < n; ++i) {
-    detail::visible_from_impl(pt, n, i, scratch, out);
+    sweep(i, scratch, out);
     for (const std::size_t j : out) g.set_half(i, j);
   }
   return g;
@@ -107,23 +110,31 @@ void visible_from(std::span<const Vec2> pts, std::size_t i,
 void visible_from(std::span<const double> xs, std::span<const double> ys,
                   std::size_t i, VisibilityScratch& scratch,
                   std::vector<std::size_t>& out) {
-  detail::visible_from_impl(
-      [xs, ys](std::size_t j) noexcept { return Vec2{xs[j], ys[j]}; },
-      xs.size(), i, scratch, out);
+  detail::visible_from_soa_impl(xs.data(), ys.data(), xs.size(), i, scratch,
+                                out);
 }
 
 VisibilityGraph compute_visibility(std::span<const Vec2> pts,
                                    util::ThreadPool* pool) {
-  return compute_visibility_impl([pts](std::size_t j) noexcept { return pts[j]; },
-                                 pts.size(), pool);
+  const auto pt = [pts](std::size_t j) noexcept { return pts[j]; };
+  return compute_visibility_graph(
+      pts.size(), pool,
+      [&](std::size_t i, VisibilityScratch& scratch,
+          std::vector<std::size_t>& out) {
+        detail::visible_from_impl(pt, pts.size(), i, scratch, out);
+      });
 }
 
 VisibilityGraph compute_visibility(std::span<const double> xs,
                                    std::span<const double> ys,
                                    util::ThreadPool* pool) {
-  return compute_visibility_impl(
-      [xs, ys](std::size_t j) noexcept { return Vec2{xs[j], ys[j]}; },
-      xs.size(), pool);
+  return compute_visibility_graph(
+      xs.size(), pool,
+      [&](std::size_t i, VisibilityScratch& scratch,
+          std::vector<std::size_t>& out) {
+        detail::visible_from_soa_impl(xs.data(), ys.data(), xs.size(), i,
+                                      scratch, out);
+      });
 }
 
 bool visible_naive(std::span<const Vec2> pts, std::size_t i, std::size_t j) {

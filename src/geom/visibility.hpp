@@ -78,6 +78,14 @@ class VisibilityGraph {
 /// comparison touches two contiguous records instead of re-deriving
 /// subtractions and half-plane indices.
 struct AngularKey {
+  /// Deliberately uninitialized: the batch key build sizes the scratch
+  /// vectors with resize() and then overwrites every slot with plain
+  /// stores; a zeroing default constructor would memset ~32 bytes/point
+  /// per observer for values that are never read.
+  AngularKey() noexcept {}
+  AngularKey(Vec2 d, double d2, float a, std::uint32_t i) noexcept
+      : diff(d), dist2(d2), akey(a), index(i) {}
+
   Vec2 diff;            ///< pts[index] - observer, rounded once.
   double dist2;         ///< |diff|^2 for the same-ray tie-break.
   float akey;           ///< Diamond pseudo-angle of diff within its half.
@@ -95,6 +103,11 @@ struct VisibilityScratch {
   std::vector<AngularKey> lower;  ///< Keys with direction angle in [pi, 2pi).
   std::vector<std::uint64_t> order;      ///< (akey bits << 32) | slot records.
   std::vector<std::uint64_t> order_tmp;  ///< Radix ping-pong buffer.
+  /// Per-half presort records, filled by the batched SoA key build in the
+  /// same pass that fills upper/lower (the gather loop the AoS path runs
+  /// inside sort_half is fused into the key build on the SoA path).
+  std::vector<std::uint64_t> upper_order;
+  std::vector<std::uint64_t> lower_order;
   std::vector<std::uint32_t> dirty;      ///< VisibilityCache: deduped dirty set.
   std::vector<std::uint8_t> mark;        ///< VisibilityCache: membership mask.
 };

@@ -43,30 +43,33 @@ void VisibilityCache::rebuild(std::span<const double> xs,
     return Vec2{xs[j], ys[j]};
   };
   if (!storable || e == nullptr) {
-    detail::visible_from_impl(pt, xs.size(), i, scratch, out);
+    detail::visible_from_soa_impl(xs.data(), ys.data(), xs.size(), i, scratch,
+                                  out);
     return;
   }
   // Storing rebuild: same sort, but the sorted halves are gathered into the
   // entry so later Looks can repair in place. Emission over the gathered
   // arrays visits the identical rank sequence, so the output matches the
-  // one-shot kernel bit for bit.
+  // one-shot kernel bit for bit. The batch key build (geom/simd.hpp) emits
+  // the presort records fused with the keys, same as the one-shot SoA path.
   const Vec2 o = pt(i);
-  detail::build_keys(pt, xs.size(), i, o, scratch.upper, scratch.lower);
+  simd::build_keys_soa(xs.data(), ys.data(), xs.size(), i, o, scratch);
   out.clear();
   out.reserve(scratch.upper.size() + scratch.lower.size());
   const auto sort_gather_emit = [&](const std::vector<AngularKey>& keys,
+                                    std::vector<std::uint64_t>& order,
                                     std::vector<AngularKey>& stored) {
     stored.clear();
     if (keys.empty()) return;
-    detail::sort_half(pt, o, keys, scratch);
+    detail::sort_records(pt, o, keys, order, scratch.order_tmp);
     stored.reserve(keys.size());
-    for (const std::uint64_t rec : scratch.order) {
+    for (const std::uint64_t rec : order) {
       stored.push_back(keys[detail::slot_of(rec)]);
     }
     detail::emit_half(pt, o, KeyAt{stored.data()}, stored.size(), out);
   };
-  sort_gather_emit(scratch.upper, e->upper);
-  sort_gather_emit(scratch.lower, e->lower);
+  sort_gather_emit(scratch.upper, scratch.upper_order, e->upper);
+  sort_gather_emit(scratch.lower, scratch.lower_order, e->lower);
   e->ids = out;
   e->version = version;
   e->valid = true;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "geom/predicates.hpp"
+#include "geom/simd.hpp"
 #include "geom/visibility.hpp"
 #include "util/radix.hpp"
 
@@ -66,6 +67,15 @@ inline constexpr std::size_t kMinParallelObservers = 32;
 
 inline std::uint32_t slot_of(std::uint64_t rec) noexcept {
   return static_cast<std::uint32_t>(rec);
+}
+
+/// The float pseudo-angle a presort record was built from, recovered from
+/// its high 32 bits — EXACTLY keys[slot_of(rec)].akey, bit for bit, without
+/// the random gather into the key array. The rank scans in sort_records and
+/// emit_half_records only need the akey, so reading it out of the already-
+/// resident record halves their cache traffic.
+inline float akey_of(std::uint64_t rec) noexcept {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(rec >> 32));
 }
 
 /// The exact strict total order on keys within one half-plane: orientation
@@ -137,20 +147,91 @@ void emit_half(const PtFn& pt, Vec2 o, const KeyAt& key_at, std::size_t m,
   emit_run(pt, o, key_at, run_begin, m, out);
 }
 
-/// Exact CCW sort of one half-plane's keys: fills scratch.order with the
-/// (akey << 32 | slot) records in exactly sorted rank order. Within one
-/// half no two directions are opposite, so orient2d alone orders them; the
-/// keyed predicate returns exactly orient2d(o, pts[a], pts[b]) (see
-/// orient2d_around), making the order bit-identical to the direct
-/// formulation.
-///
-/// Sort structure: radix-presort by float pseudo-angle (ties fall back to
+/// emit_half over exact-sorted records: identical run splitting and
+/// emission, but the akey-gap certificate reads the records (akey_of)
+/// instead of gathering each ranked key — the key array is only touched at
+/// suspect boundaries (orient2d operands) and for the emitted points
+/// themselves. Same boundaries, same runs, same output as emit_half: the
+/// record akeys are bit-equal to the gathered ones.
+template <class PtFn>
+void emit_half_records(const PtFn& pt, Vec2 o,
+                       const std::vector<AngularKey>& keys,
+                       const std::vector<std::uint64_t>& order,
+                       std::vector<std::size_t>& out) {
+  const std::size_t m = order.size();
+  if (m == 0) return;
+  const auto key_at = [&](std::size_t k) -> const AngularKey& {
+    return keys[slot_of(order[k])];
+  };
+  std::size_t run_begin = 0;
+  float prev = akey_of(order[0]);
+  for (std::size_t k = 1; k < m; ++k) {
+    const float cur = akey_of(order[k]);
+    const bool boundary =
+        (cur - prev > kSuspectEps) ||
+        orient2d_around(key_at(k - 1).diff, key_at(k).diff,
+                        pt(key_at(k - 1).index), pt(key_at(k).index), o) != 0;
+    if (boundary) {
+      emit_run(pt, o, key_at, run_begin, k, out);
+      run_begin = k;
+    }
+    prev = cur;
+  }
+  emit_run(pt, o, key_at, run_begin, m, out);
+}
+
+/// Exact CCW sort of one half-plane's keys over PREBUILT (akey << 32 |
+/// slot) records: radix-presort by float pseudo-angle (ties fall back to
 /// insertion = index order), then exact-sort every maximal chain of keys
 /// whose consecutive presorted akeys are within kSuspectEps. Keys in
 /// different chains are separated by > kSuspectEps, which certifies their
 /// exact order (see diamond_key), so per-chain exact sorting yields the
 /// one globally exact-sorted sequence — the same unique permutation a full
-/// exact std::sort would produce.
+/// exact std::sort would produce. Within one half no two directions are
+/// opposite, so orient2d alone orders them; the keyed predicate returns
+/// exactly orient2d(o, pts[a], pts[b]) (see orient2d_around), making the
+/// order bit-identical to the direct formulation.
+///
+/// The records come either from sort_half below (the AoS path, which
+/// gathers them out of the keys) or fused out of the batched SoA key build
+/// (geom/simd.hpp), which skips that strided gather.
+template <class PtFn>
+void sort_records(const PtFn& pt, Vec2 o, const std::vector<AngularKey>& keys,
+                  std::vector<std::uint64_t>& order,
+                  std::vector<std::uint64_t>& tmp) {
+  const std::size_t m = order.size();
+  if (m == 0) return;
+  // The akeys are diamond pseudo-angles: finite floats in [0, 2] (2.0 only
+  // via quotient rounding at the half boundary), which is exactly the
+  // precondition of the value-bucketed sort — one scatter instead of four
+  // radix passes, with the float->bucket mapping batched per SIMD level.
+  simd::sort_angular_records(order, tmp, 2.0f);
+
+  const auto exact_less = [&](std::uint64_t ra, std::uint64_t rb) {
+    return exact_key_less(pt, o, keys[slot_of(ra)], keys[slot_of(rb)]);
+  };
+  // Suspect-chain fixup. The presorted akeys are ascending, so chains are
+  // found with one forward scan reading akeys straight out of the records
+  // (akey_of — no gather); `prev` is always read before the chain ending at
+  // that position is re-sorted, so the scan sees presort values.
+  std::size_t chain_begin = 0;
+  float prev = akey_of(order[0]);
+  const auto ord = [&](std::size_t k) {
+    return order.begin() + static_cast<std::ptrdiff_t>(k);
+  };
+  for (std::size_t k = 1; k < m; ++k) {
+    const float cur = akey_of(order[k]);
+    if (cur - prev > kSuspectEps) {
+      if (k - chain_begin > 1) std::sort(ord(chain_begin), ord(k), exact_less);
+      chain_begin = k;
+    }
+    prev = cur;
+  }
+  if (m - chain_begin > 1) std::sort(ord(chain_begin), order.end(), exact_less);
+}
+
+/// Record build + exact sort for one half: fills scratch.order with the
+/// presort records gathered from the keys, then delegates to sort_records.
 template <class PtFn>
 void sort_half(const PtFn& pt, Vec2 o, const std::vector<AngularKey>& keys,
                VisibilityScratch& scratch) {
@@ -163,32 +244,12 @@ void sort_half(const PtFn& pt, Vec2 o, const std::vector<AngularKey>& keys,
     order.push_back(
         (std::uint64_t{std::bit_cast<std::uint32_t>(keys[s].akey)} << 32) | s);
   }
-  util::sort_key32_records(order, scratch.order_tmp);
-
-  const auto exact_less = [&](std::uint64_t ra, std::uint64_t rb) {
-    return exact_key_less(pt, o, keys[slot_of(ra)], keys[slot_of(rb)]);
-  };
-  // Suspect-chain fixup. The presorted akeys are ascending, so chains are
-  // found with one forward scan; `prev` is always read before the chain
-  // ending at that position is re-sorted, so the scan sees presort values.
-  std::size_t chain_begin = 0;
-  float prev = keys[slot_of(order[0])].akey;
-  const auto ord = [&](std::size_t k) {
-    return order.begin() + static_cast<std::ptrdiff_t>(k);
-  };
-  for (std::size_t k = 1; k < m; ++k) {
-    const float cur = keys[slot_of(order[k])].akey;
-    if (cur - prev > kSuspectEps) {
-      if (k - chain_begin > 1) std::sort(ord(chain_begin), ord(k), exact_less);
-      chain_begin = k;
-    }
-    prev = cur;
-  }
-  if (m - chain_begin > 1) std::sort(ord(chain_begin), order.end(), exact_less);
+  sort_records(pt, o, keys, order, scratch.order_tmp);
 }
 
 /// Sort + emit for one half, reading keys through the order indirection
-/// (the one-shot path; no gather).
+/// (the one-shot AoS path — emission scans the records, same as the SoA
+/// path below).
 template <class PtFn>
 void sort_and_dedup_half(const PtFn& pt, Vec2 o,
                          const std::vector<AngularKey>& keys,
@@ -196,13 +257,7 @@ void sort_and_dedup_half(const PtFn& pt, Vec2 o,
                          std::vector<std::size_t>& out) {
   if (keys.empty()) return;
   sort_half(pt, o, keys, scratch);
-  const std::vector<std::uint64_t>& order = scratch.order;
-  emit_half(
-      pt, o,
-      [&](std::size_t k) -> const AngularKey& {
-        return keys[slot_of(order[k])];
-      },
-      keys.size(), out);
+  emit_half_records(pt, o, keys, scratch.order, out);
 }
 
 /// Builds the per-observer sort keys in one pass: every subtraction,
@@ -216,8 +271,14 @@ void build_keys(const PtFn& pt, std::size_t n, std::size_t i, Vec2 o,
                 std::vector<AngularKey>& lower) {
   upper.clear();
   lower.clear();
-  upper.reserve(n);
-  lower.reserve(n);
+  // Split estimate: the two halves partition the n-1 candidates, so
+  // reserving n per half would hold 2x the points in memory forever (cold
+  // cost ~64 bytes/point of dead capacity). A lopsided split grows one half
+  // once more; steady-state reuse keeps whatever capacity that settled at.
+  // The SoA batch path (geom/simd.hpp) sizes exactly via a counting pass.
+  const std::size_t est = n / 2 + 8;
+  upper.reserve(est);
+  lower.reserve(est);
   for (std::size_t j = 0; j < n; ++j) {
     if (j == i) continue;
     const Vec2 p = pt(j);
@@ -247,6 +308,43 @@ void visible_from_impl(const PtFn& pt, std::size_t n, std::size_t i,
   out.reserve(scratch.upper.size() + scratch.lower.size());
   sort_and_dedup_half(pt, o, scratch.upper, scratch, out);
   sort_and_dedup_half(pt, o, scratch.lower, scratch, out);
+}
+
+/// Sort + emit for one half whose presort records were PREBUILT by the
+/// batched SoA key build; `order` is that half's record vector
+/// (scratch.upper_order / lower_order), exact-sorted in place.
+template <class PtFn>
+void sort_and_dedup_half_records(const PtFn& pt, Vec2 o,
+                                 const std::vector<AngularKey>& keys,
+                                 std::vector<std::uint64_t>& order,
+                                 std::vector<std::uint64_t>& tmp,
+                                 std::vector<std::size_t>& out) {
+  if (keys.empty()) return;
+  sort_records(pt, o, keys, order, tmp);
+  emit_half_records(pt, o, keys, order, out);
+}
+
+/// The SoA one-shot sweep: the runtime-dispatched batch key build
+/// (geom/simd.hpp) fills keys AND presort records in one pass over the
+/// split coordinate arrays; sorting and emission are shared with the AoS
+/// path. Output bit-identical to visible_from_impl over
+/// pt(j) = {xs[j], ys[j]} — the batch kernels reproduce build_keys byte
+/// for byte at every dispatch level.
+inline void visible_from_soa_impl(const double* xs, const double* ys,
+                                  std::size_t n, std::size_t i,
+                                  VisibilityScratch& scratch,
+                                  std::vector<std::size_t>& out) {
+  const Vec2 o{xs[i], ys[i]};
+  simd::build_keys_soa(xs, ys, n, i, o, scratch);
+  const auto pt = [xs, ys](std::size_t j) noexcept {
+    return Vec2{xs[j], ys[j]};
+  };
+  out.clear();
+  out.reserve(scratch.upper.size() + scratch.lower.size());
+  sort_and_dedup_half_records(pt, o, scratch.upper, scratch.upper_order,
+                              scratch.order_tmp, out);
+  sort_and_dedup_half_records(pt, o, scratch.lower, scratch.lower_order,
+                              scratch.order_tmp, out);
 }
 
 }  // namespace lumen::geom::detail

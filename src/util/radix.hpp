@@ -14,11 +14,24 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace lumen::util {
+
+/// One element of an exact 64-bit-keyed stable sort: the full key (e.g. the
+/// monotone bit image of a double coordinate) plus the element's slot id.
+/// Unlike the packed 32-bit records below, key and payload are separate
+/// fields, so EQUAL keys are genuinely equal — no approximate-key tie runs
+/// exist and no comparison-sort repair pass is ever needed; stability alone
+/// carries the secondary order.
+struct Key64Record {
+  std::uint64_t key;
+  std::uint32_t slot;
+};
 
 /// Below this many records a plain comparison sort of the packed words
 /// beats the radix passes.
@@ -56,6 +69,141 @@ inline void sort_key32_records(std::vector<std::uint64_t>& records,
     }
     for (std::size_t k = 0; k < m; ++k) {
       dst[count[static_cast<std::size_t>((src[k] >> shift) & 0xff)]++] = src[k];
+    }
+    std::swap(src, dst);
+    ++passes_done;
+  }
+  if (passes_done % 2 != 0) {
+    std::copy(tmp.begin(), tmp.end(), records.begin());
+  }
+}
+
+/// Finishing pass of a value-bucketed sort: `bucket_ends[b]` is the END
+/// offset of bucket b in `dst` (what the scatter's post-increment cursors
+/// hold). Buckets are already ordered by key; comparison-sort each
+/// multi-record bucket on the full word (insertion for the common tiny
+/// runs) and the whole array is exactly ascending.
+inline void sort_bucketed_runs(std::uint64_t* dst,
+                               const std::uint64_t* bucket_ends,
+                               std::size_t nb) {
+  std::uint64_t begin = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint64_t end = bucket_ends[b];
+    const std::uint64_t len = end - begin;
+    if (len > 1) {
+      if (len <= 32) {
+        for (std::uint64_t* p = dst + begin + 1; p < dst + end; ++p) {
+          const std::uint64_t v = *p;
+          std::uint64_t* q = p;
+          while (q > dst + begin && q[-1] > v) {
+            *q = q[-1];
+            --q;
+          }
+          *q = v;
+        }
+      } else {
+        std::sort(dst + begin, dst + end);
+      }
+    }
+    begin = end;
+  }
+}
+
+/// Sorts packed (float_bits << 32 | slot) records ascending by full 64-bit
+/// value, specialised for keys that are the bit images of finite,
+/// non-negative floats bounded by `max_key` (values landing exactly on
+/// max_key are clamped into the last bucket). Because the key's VALUE is
+/// known to live in a small interval, one value-proportional bucket
+/// scatter replaces the four byte passes of sort_key32_records: with ~one
+/// record per bucket, almost all order is established by the single
+/// scatter, and the leftover per-bucket runs are tiny comparison sorts.
+/// Produces exactly the full ascending 64-bit order (bucket boundaries are
+/// monotone in the key, the scatter is stable, and each bucket is
+/// comparison-sorted on the whole word), so it is a drop-in replacement
+/// for sort_key32_records wherever the value precondition holds. `tmp`
+/// holds the bucket cursors and the scatter destination; it keeps its
+/// capacity across calls.
+inline void sort_f32key_records(std::vector<std::uint64_t>& records,
+                                std::vector<std::uint64_t>& tmp,
+                                float max_key) {
+  const std::size_t m = records.size();
+  if (m < kRadixMinRecords) {
+    std::sort(records.begin(), records.end());
+    return;
+  }
+  // Largest power of two NOT ABOVE m (capped): mean occupancy lands in
+  // [1, 2), and the cursor array stays within the record footprint so the
+  // histogram/scatter working set does not fall out of cache right when m
+  // crosses a power of two.
+  std::size_t nb = std::bit_floor(m);
+  if (nb > (std::size_t{1} << 13)) nb = std::size_t{1} << 13;
+  const float scale = static_cast<float>(nb) / max_key;
+  tmp.resize(nb + m);
+  std::uint64_t* const cursors = tmp.data();
+  std::uint64_t* const dst = tmp.data() + nb;
+  std::fill_n(cursors, nb, std::uint64_t{0});
+  const auto bucket_of = [nb, scale](std::uint64_t rec) noexcept {
+    const float key =
+        std::bit_cast<float>(static_cast<std::uint32_t>(rec >> 32));
+    const auto b = static_cast<std::size_t>(key * scale);
+    return b < nb ? b : nb - 1;
+  };
+  for (const std::uint64_t rec : records) ++cursors[bucket_of(rec)];
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint64_t count = cursors[b];
+    cursors[b] = sum;
+    sum += count;
+  }
+  for (const std::uint64_t rec : records) dst[cursors[bucket_of(rec)]++] = rec;
+  sort_bucketed_runs(dst, cursors, nb);
+  std::memcpy(records.data(), dst, m * sizeof(std::uint64_t));
+}
+
+/// STABLE ascending sort of `records` by the full 64-bit key; records with
+/// equal keys keep their relative order. Eight LSD counting passes with
+/// identity-pass skipping, exactly like sort_key32_records but over an
+/// exact key that lives outside the payload. Chaining two calls — sort by a
+/// secondary key, rewrite keys in place, sort by the primary — yields the
+/// exact lexicographic (primary, secondary, insertion) order with zero
+/// comparisons, which is how the convex hull orders (x, y, index) without
+/// any tie-run repair sort. `tmp` is the ping-pong buffer and keeps its
+/// capacity across calls.
+inline void sort_key64_records(std::vector<Key64Record>& records,
+                               std::vector<Key64Record>& tmp) {
+  const std::size_t m = records.size();
+  if (m < kRadixMinRecords) {
+    // Stability matters here (unlike the packed-record path, ties are
+    // real): stable_sort preserves the insertion order the radix passes
+    // would.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const Key64Record& a, const Key64Record& b) {
+                       return a.key < b.key;
+                     });
+    return;
+  }
+  tmp.resize(m);
+  Key64Record* src = records.data();
+  Key64Record* dst = tmp.data();
+  int passes_done = 0;
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = 8 * pass;
+    std::array<std::size_t, 256> count{};
+    for (std::size_t k = 0; k < m; ++k) {
+      ++count[static_cast<std::size_t>((src[k].key >> shift) & 0xff)];
+    }
+    if (count[static_cast<std::size_t>((src[0].key >> shift) & 0xff)] == m) {
+      continue;  // Identity pass: every record shares this key byte.
+    }
+    std::size_t sum = 0;
+    for (std::size_t& c : count) {
+      const std::size_t this_bucket = c;
+      c = sum;
+      sum += this_bucket;
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      dst[count[static_cast<std::size_t>((src[k].key >> shift) & 0xff)]++] =
+          src[k];
     }
     std::swap(src, dst);
     ++passes_done;

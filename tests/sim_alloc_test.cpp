@@ -20,17 +20,20 @@
 namespace {
 
 std::size_t g_alloc_count = 0;
+std::size_t g_alloc_bytes = 0;
 
 }  // namespace
 
 void* operator new(std::size_t size) {
   ++g_alloc_count;
+  g_alloc_bytes += size;
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 
 void* operator new[](std::size_t size) {
   ++g_alloc_count;
+  g_alloc_bytes += size;
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
@@ -72,6 +75,54 @@ TEST(LookPathAllocations, VisibleFromScratchOverloadIsAllocationFree) {
   }
   EXPECT_EQ(g_alloc_count, before)
       << "warm visible_from must not touch the heap";
+}
+
+TEST(LookPathAllocations, VisibleFromSoAOverloadIsAllocationFree) {
+  const auto pts = ring_of_points(64);
+  std::vector<double> xs, ys;
+  for (const Vec2 p : pts) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  geom::VisibilityScratch scratch;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    geom::visible_from(xs, ys, i, scratch, out);
+  }
+  const std::size_t before = g_alloc_count;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      geom::visible_from(xs, ys, i, scratch, out);
+      ASSERT_FALSE(out.empty());
+    }
+  }
+  EXPECT_EQ(g_alloc_count, before)
+      << "the warm SoA visible_from must not touch the heap";
+}
+
+TEST(LookPathAllocations, ColdSoAKeyBuildReservesTheExactSplit) {
+  // The batched key build counts the upper/lower split before sizing, so a
+  // COLD call allocates the true split (~32+8 bytes per point across the
+  // four scratch vectors) plus the sort/output workspace — NOT the 2x-of-n
+  // guess the old AoS build_keys reserved for both halves. The bound below
+  // sits between the two: exact sizing passes with plenty of headroom,
+  // a both-halves reserve(n) (64 bytes/point for the key vectors alone,
+  // ~112 total) trips it.
+  const std::size_t n = 1024;
+  const auto pts = ring_of_points(n);
+  std::vector<double> xs, ys;
+  for (const Vec2 p : pts) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  geom::VisibilityScratch scratch;
+  std::vector<std::size_t> out;
+  const std::size_t before = g_alloc_bytes;
+  geom::visible_from(xs, ys, 0, scratch, out);
+  const std::size_t cold_bytes = g_alloc_bytes - before;
+  EXPECT_LT(cold_bytes, 75 * n)
+      << "cold SoA visible_from allocated " << cold_bytes
+      << " bytes for n=" << n << "; the key build is over-reserving";
 }
 
 TEST(LookPathAllocations, BuildSnapshotScratchOverloadIsAllocationFree) {
