@@ -3,12 +3,16 @@
 //   lumen-bench list [--names-only]
 //   lumen-bench describe <experiment>
 //   lumen-bench run <experiment|all> [flags]
+//   lumen-bench hunt [flags]
 //
 // Each experiment (E1-E6, E8) lives in the analysis::ExperimentRegistry;
 // this binary only resolves the spec (defaults -> --spec file -> flag
 // overrides), runs it, and hands the structured result to a Reporter.
 // E7 (microbenchmarks) stays in the separate bench_micro binary because
-// google-benchmark owns its harness.
+// google-benchmark owns its harness. `hunt` drives the adversarial search
+// subsystem (src/search): it optimizes an AdversaryPlan against a chosen
+// fitness, delta-debugs the winner, and can emit the minimized plan as a
+// committable regression scenario (scenarios/adversarial/).
 //
 // Exit codes: 0 all checks passed (or --smoke), 1 a claim check failed,
 // 2 usage/spec error, 3 interrupted (SIGINT/SIGTERM drained gracefully —
@@ -19,11 +23,15 @@
 #include "analysis/reporter.hpp"
 #include "core/registry.hpp"
 #include "geom/simd.hpp"
+#include "search/experiment.hpp"
+#include "search/scenario_io.hpp"
 #include "util/cli.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <csignal>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -48,6 +56,7 @@ int usage(std::ostream& os, int code) {
         "  list [--names-only]      list registered experiments\n"
         "  describe <experiment>    description + default spec JSON\n"
         "  run <experiment|all>     run one experiment (or every one)\n"
+        "  hunt                     adversarial search for worst-case plans\n"
         "\n"
         "run flags:\n"
         "  --spec=FILE        load a ScenarioSpec JSON (overrides defaults)\n"
@@ -72,6 +81,22 @@ int usage(std::ostream& os, int code) {
         "  --deadline-ms=T    per-run wall-clock watchdog (0 = off)\n"
         "  --max-attempts=K   retries per hung/throwing cell (default 1)\n"
         "  --retry-backoff-ms=B   base backoff between a cell's attempts\n"
+        "\n"
+        "hunt flags:\n"
+        "  --fitness=KIND     epochs|min-separation|outcome|all (default all)\n"
+        "  --strategy=NAME    mu-lambda|bandit (default mu-lambda)\n"
+        "  --algorithm=NAME   algorithm under attack (default async-log)\n"
+        "  --family=NAME      initial-configuration family\n"
+        "  --scheduler=K      seed plan scheduler (fsync|ssync|async)\n"
+        "  --n=N / --n-min / --n-max   swarm-size search range\n"
+        "  --seed=S           hunt seed (drives the whole trajectory)\n"
+        "  --budget=K         search-loop evaluation budget\n"
+        "  --minimize-budget=K  shrinking-minimizer evaluation budget\n"
+        "  --keep-fraction=F  minimizer score-retention threshold (0,1]\n"
+        "  --emit-dir=DIR     write each minimized winner as a regression\n"
+        "                     scenario JSON (the scenarios/adversarial/ form)\n"
+        "  --journal/--resume checkpointing, exactly as for run\n"
+        "  --smoke            shrink budgets to a seconds-long sanity hunt\n"
         "\n"
         "SIGINT/SIGTERM drain in-flight cells, flush the journal and the\n"
         "partial report, and exit with code 3; re-run with --resume to pick\n"
@@ -396,9 +421,318 @@ int cmd_run(const std::vector<std::string>& raw_args) {
   return all_passed ? 0 : 1;
 }
 
+// `hunt`: drive the adversarial search subsystem directly. One hunt per
+// requested fitness (default: all three), sharing the same hunt seed; each
+// prints its trajectory digest (the cross-pool-size determinism witness)
+// and optionally emits its minimized winner as a regression scenario.
+int cmd_hunt(const std::vector<std::string>& raw_args) {
+  util::Cli cli;
+  cli.flag("fitness", "epochs|min-separation|outcome|all", "all");
+  cli.flag("strategy", "mu-lambda|bandit", "mu-lambda");
+  cli.flag("algorithm", "algorithm under attack", "async-log");
+  cli.flag("family", "initial-configuration family");
+  cli.flag("scheduler", "seed plan scheduler (fsync|ssync|async)");
+  cli.flag("adversary", "seed plan timing adversary");
+  cli.flag("activation", "seed plan activation policy");
+  cli.flag("n", "pin the swarm size (sets both n-min and n-max)");
+  cli.flag("n-min", "smallest swarm size the hunt may try");
+  cli.flag("n-max", "largest swarm size the hunt may try");
+  cli.flag("seed", "hunt seed; the whole trajectory is a function of it", "1");
+  cli.flag("budget", "search-loop evaluation budget", "256");
+  cli.flag("population", "mu: survivors per generation", "8");
+  cli.flag("offspring", "lambda: children per generation", "16");
+  cli.flag("crossover-rate", "P(child gets two parents)", "0.5");
+  cli.flag("epsilon", "bandit exploration probability", "0.25");
+  cli.flag("batch", "bandit arm pulls per round", "16");
+  cli.flag("max-cycles", "per-robot cycle budget per evaluation", "256");
+  cli.flag("minimize-budget", "shrinking-minimizer evaluation budget", "96");
+  cli.flag("keep-fraction", "minimizer score-retention threshold (0,1]", "1");
+  cli.flag("emit-dir", "write each minimized winner as a scenario JSON here");
+  cli.flag("journal", "append a durable record per finished evaluation");
+  cli.flag("resume", "skip evaluations journaled here; implies --journal");
+  cli.flag("out", "write the summary to this file instead of stdout");
+  cli.flag("smoke", "shrink budgets to a seconds-long sanity hunt");
+
+  std::vector<const char*> argv = {"lumen-bench hunt"};
+  for (const auto& a : raw_args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    std::cerr << "error: " << cli.error() << "\n";
+    return 2;
+  }
+  if (cli.help_requested()) return usage(std::cout, 0);
+
+  // Which fitness functions to hunt.
+  std::vector<search::FitnessKind> kinds;
+  if (cli.get("fitness") == "all") {
+    kinds = search::all_fitness_kinds();
+  } else {
+    const auto kind = search::fitness_from_string(cli.get("fitness"));
+    if (!kind) {
+      std::cerr << "error: unknown --fitness \"" << cli.get("fitness")
+                << "\" (epochs|min-separation|outcome|all)\n";
+      return 2;
+    }
+    kinds = {*kind};
+  }
+
+  search::HuntSpec base;
+  const auto strategy = search::strategy_from_string(cli.get("strategy"));
+  if (!strategy) {
+    std::cerr << "error: unknown --strategy \"" << cli.get("strategy")
+              << "\" (mu-lambda|bandit)\n";
+    return 2;
+  }
+  base.strategy = *strategy;
+  {
+    const auto names = core::algorithm_names();
+    if (std::find(names.begin(), names.end(), cli.get("algorithm")) ==
+        names.end()) {
+      std::cerr << "error: --algorithm: unknown algorithm \""
+                << cli.get("algorithm")
+                << "\"; valid: " << core::algorithm_names_joined() << "\n";
+      return 2;
+    }
+    base.algorithm = cli.get("algorithm");
+  }
+  if (cli.is_set("family")) {
+    const auto family = gen::family_from_string(cli.get("family"));
+    if (!family) {
+      std::cerr << "error: unknown --family \"" << cli.get("family") << "\"\n";
+      return 2;
+    }
+    base.family = *family;
+  }
+  if (cli.is_set("scheduler")) {
+    const auto scheduler = sim::scheduler_from_string(cli.get("scheduler"));
+    if (!scheduler) {
+      std::cerr << "error: unknown --scheduler \"" << cli.get("scheduler")
+                << "\" (fsync|ssync|async)\n";
+      return 2;
+    }
+    base.seed_plan.scheduler = *scheduler;
+  }
+  if (cli.is_set("adversary")) {
+    const auto adversary = sched::adversary_from_string(cli.get("adversary"));
+    if (!adversary) {
+      std::cerr << "error: unknown --adversary \"" << cli.get("adversary")
+                << "\"\n";
+      return 2;
+    }
+    base.seed_plan.adversary = *adversary;
+  }
+  if (cli.is_set("activation")) {
+    const auto activation =
+        sched::activation_from_string(cli.get("activation"));
+    if (!activation) {
+      std::cerr << "error: unknown --activation \"" << cli.get("activation")
+                << "\"\n";
+      return 2;
+    }
+    base.seed_plan.activation = *activation;
+  }
+  const auto size_flag = [&](std::string_view flag, std::size_t& out,
+                             std::string& error) {
+    if (!cli.is_set(flag)) return true;
+    if (cli.get_int(flag) <= 0) {
+      error = std::string("--") + std::string(flag) + " must be positive";
+      return false;
+    }
+    out = static_cast<std::size_t>(cli.get_int(flag));
+    return true;
+  };
+  std::string error;
+  if (cli.is_set("n")) {
+    std::size_t n = 0;
+    if (!size_flag("n", n, error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    base.bounds.n_min = base.bounds.n_max = n;
+  }
+  if (!size_flag("n-min", base.bounds.n_min, error) ||
+      !size_flag("n-max", base.bounds.n_max, error) ||
+      !size_flag("budget", base.budget, error) ||
+      !size_flag("population", base.population, error) ||
+      !size_flag("offspring", base.offspring, error) ||
+      !size_flag("batch", base.batch, error) ||
+      !size_flag("max-cycles", base.max_cycles_per_robot, error) ||
+      !size_flag("minimize-budget", base.minimize_budget, error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  if (cli.get_int("seed") < 0) {
+    std::cerr << "error: --seed must be non-negative\n";
+    return 2;
+  }
+  base.hunt_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  base.seed_plan.seed = base.hunt_seed;
+  base.seed_plan.n = std::clamp(base.seed_plan.n, base.bounds.n_min,
+                                base.bounds.n_max);
+  base.crossover_rate = cli.get_double("crossover-rate");
+  base.epsilon = cli.get_double("epsilon");
+  base.keep_fraction = cli.get_double("keep-fraction");
+
+  if (cli.get_bool("smoke")) {
+    // The same philosophy as run --smoke: seconds, not minutes. Budgets
+    // shrink but nothing else changes, so the smoke hunt still exercises
+    // the full propose/evaluate/minimize/emit path.
+    base.budget = std::min<std::size_t>(base.budget, 8);
+    base.minimize_budget = std::min<std::size_t>(base.minimize_budget, 4);
+    base.population = std::min<std::size_t>(base.population, 3);
+    base.offspring = std::min<std::size_t>(base.offspring, 4);
+    base.batch = std::min<std::size_t>(base.batch, 4);
+    base.bounds.n_max = std::min<std::size_t>(base.bounds.n_max, 12);
+    base.bounds.n_min = std::min(base.bounds.n_min, base.bounds.n_max);
+    base.seed_plan.n = std::clamp(base.seed_plan.n, base.bounds.n_min,
+                                  base.bounds.n_max);
+    base.max_cycles_per_robot =
+        std::min<std::size_t>(base.max_cycles_per_robot, 128);
+  }
+
+  std::ofstream out_file;
+  if (cli.is_set("out")) {
+    out_file.open(cli.get("out"));
+    if (!out_file) {
+      std::cerr << "error: cannot open --out file " << cli.get("out") << "\n";
+      return 2;
+    }
+  }
+  std::ostream& out = cli.is_set("out") ? out_file : std::cout;
+
+  // Same resilience plumbing as cmd_run: every hunt evaluation is a
+  // journalable campaign cell, so --journal/--resume work unchanged.
+  analysis::JournalSnapshot resume_snapshot;
+  bool resuming = false;
+  if (cli.is_set("resume")) {
+    auto loaded = analysis::load_journal(cli.get("resume"));
+    if (!loaded.snapshot) {
+      std::cerr << "error: --resume: " << loaded.error << "\n";
+      return 2;
+    }
+    resume_snapshot = std::move(*loaded.snapshot);
+    resuming = true;
+    std::cerr << "resume: " << resume_snapshot.cell_count()
+              << " journaled cell(s) loaded from " << cli.get("resume")
+              << "\n";
+  }
+  std::unique_ptr<analysis::CampaignJournal> journal;
+  const std::string journal_path = cli.is_set("journal") ? cli.get("journal")
+                                   : cli.is_set("resume") ? cli.get("resume")
+                                                          : std::string();
+  if (!journal_path.empty()) {
+    journal = std::make_unique<analysis::CampaignJournal>(journal_path);
+    if (!journal->ok()) {
+      std::cerr << "error: cannot open --journal file " << journal_path
+                << "\n";
+      return 2;
+    }
+  }
+  analysis::CampaignControl control;
+  control.journal = journal.get();
+  control.resume = resuming ? &resume_snapshot : nullptr;
+  control.stop = &g_stop;
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+
+  if (cli.is_set("emit-dir")) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.get("emit-dir"), ec);
+    if (ec) {
+      std::cerr << "error: cannot create --emit-dir " << cli.get("emit-dir")
+                << ": " << ec.message() << "\n";
+      return 2;
+    }
+  }
+
+  bool all_found = true;
+  bool interrupted = false;
+  for (const search::FitnessKind fitness : kinds) {
+    search::HuntSpec spec = base;
+    spec.fitness = fitness;
+    const std::string invalid = search::validate_hunt_spec(spec);
+    if (!invalid.empty()) {
+      std::cerr << "error: invalid hunt spec: " << invalid << "\n";
+      return 2;
+    }
+    const search::HuntResult result = search::run_hunt(spec, nullptr, control);
+    if (!result.error.empty()) {
+      std::cerr << "error: " << result.error << "\n";
+      return 2;
+    }
+
+    out << "fitness " << search::to_string(fitness) << " ["
+        << search::to_string(spec.strategy) << ", seed " << spec.hunt_seed
+        << "]: " << result.evaluations << " search + "
+        << result.minimize_evals << " minimizer evaluations\n";
+    if (result.best.has_value()) {
+      char score[64];
+      std::snprintf(score, sizeof score, "%.6g", result.best->score);
+      out << "  best:      score " << score << " ("
+          << sim::to_string(result.best->metrics.outcome) << ", "
+          << result.best->metrics.epochs << " epochs)  "
+          << search::plan_fingerprint(result.best->plan) << "\n";
+    } else {
+      all_found = false;
+      out << "  best:      none (stopped before any evaluation finished)\n";
+    }
+    if (result.minimized.has_value()) {
+      char score[64];
+      std::snprintf(score, sizeof score, "%.6g", result.minimized->score);
+      out << "  minimized: score " << score << " ("
+          << result.minimize_accepted << " accepted shrink steps)  "
+          << search::plan_fingerprint(result.minimized->plan) << "\n";
+    }
+    {
+      char digest[32];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(
+                        search::hunt_digest(result)));
+      out << "  digest:    " << digest << "\n";
+    }
+
+    if (cli.is_set("emit-dir") && result.minimized.has_value()) {
+      const std::string note =
+          "hunt: strategy=" + std::string(search::to_string(spec.strategy)) +
+          " seed=" + std::to_string(spec.hunt_seed) +
+          " budget=" + std::to_string(spec.budget) +
+          " algorithm=" + spec.algorithm;
+      const search::AdversarialScenario scenario =
+          search::make_regression_scenario(spec, *result.minimized, note);
+      const std::string path =
+          cli.get("emit-dir") + "/" + std::string(search::to_string(fitness)) +
+          "-" + std::string(search::to_string(spec.strategy)) + "-seed" +
+          std::to_string(spec.hunt_seed) + ".json";
+      if (!search::save_adversarial_scenario(scenario, path)) {
+        std::cerr << "error: cannot write scenario file " << path << "\n";
+        return 2;
+      }
+      out << "  emitted:   " << path << "\n";
+    }
+    out.flush();
+    if (result.stopped) {
+      interrupted = true;
+      break;
+    }
+  }
+  if (interrupted) {
+    std::cerr << "interrupted: in-flight evaluations drained"
+              << (journal != nullptr ? ", journal flushed" : "")
+              << "; re-run with --resume="
+              << (journal != nullptr ? journal->path() : "<journal>")
+              << " to continue.\n";
+    return 3;
+  }
+  if (cli.get_bool("smoke")) return 0;
+  return all_found ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // E13 registers from the search library (not the analysis registry ctor)
+  // so lumen_analysis stays independent of lumen_search; idempotent, and
+  // called before any thread exists.
+  lumen::search::register_hunt_experiment();
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage(std::cerr, 2);
   const std::string& command = args[0];
@@ -409,6 +743,7 @@ int main(int argc, char** argv) {
   if (command == "list") return cmd_list(rest);
   if (command == "describe") return cmd_describe(rest);
   if (command == "run") return cmd_run(rest);
+  if (command == "hunt") return cmd_hunt(rest);
   std::cerr << "error: unknown command \"" << command << "\"\n\n";
   return usage(std::cerr, 2);
 }

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
+#include <limits>
 #include <optional>
 #include <thread>
 
@@ -42,9 +44,12 @@ std::string validate_campaign_spec(const CampaignSpec& spec) {
   }
   if (spec.n < 1) return "n must be >= 1";
   if (spec.runs < 1) return "runs must be >= 1";
-  if (!(spec.min_separation > 0.0)) return "min_separation must be > 0";
-  if (!(spec.collision_tolerance >= 0.0)) {
-    return "collision_tolerance must be >= 0";
+  if (!(spec.min_separation > 0.0) || !std::isfinite(spec.min_separation)) {
+    return "min_separation must be a finite number > 0";
+  }
+  if (!(spec.collision_tolerance >= 0.0) ||
+      !std::isfinite(spec.collision_tolerance)) {
+    return "collision_tolerance must be a finite number >= 0";
   }
   if (spec.shard_count < 1) return "shard_count must be >= 1";
   if (spec.shard_index >= spec.shard_count) {
@@ -54,20 +59,25 @@ std::string validate_campaign_spec(const CampaignSpec& spec) {
   if (spec.run.max_cycles_per_robot < 1) {
     return "run.max_cycles_per_robot must be >= 1";
   }
-  if (!(spec.run.nonrigid_min_progress >= 0.0)) {
-    return "run.nonrigid_min_progress must be >= 0";
+  if (!(spec.run.nonrigid_min_progress >= 0.0) ||
+      !std::isfinite(spec.run.nonrigid_min_progress)) {
+    return "run.nonrigid_min_progress must be a finite number >= 0";
   }
   const fault::FaultPlan& fault = spec.run.fault;
   if (!(fault.crash.rate >= 0.0 && fault.crash.rate <= 1.0)) {
     return "run.fault.crash.rate must be in [0, 1]";
   }
   for (const double t : fault.crash.times) {
-    if (!(t >= 0.0)) return "run.fault.crash.times must be non-negative";
+    if (!(t >= 0.0) || !std::isfinite(t)) {
+      return "run.fault.crash.times must be finite and non-negative";
+    }
   }
   if (!(fault.light.probability >= 0.0 && fault.light.probability <= 1.0)) {
     return "run.fault.light.probability must be in [0, 1]";
   }
-  if (!(fault.noise.sigma >= 0.0)) return "run.fault.noise.sigma must be >= 0";
+  if (!(fault.noise.sigma >= 0.0) || !std::isfinite(fault.noise.sigma)) {
+    return "run.fault.noise.sigma must be a finite number >= 0";
+  }
   if (!(fault.noise.dropout >= 0.0 && fault.noise.dropout <= 1.0)) {
     return "run.fault.noise.dropout must be in [0, 1]";
   }
@@ -142,6 +152,20 @@ util::Summary CampaignResult::moves() const {
     if (m.converged) xs.push_back(static_cast<double>(m.moves));
   }
   return util::summarize(xs);
+}
+
+std::size_t CampaignResult::max_epochs() const noexcept {
+  std::size_t worst = 0;
+  for (const auto& m : runs) worst = std::max(worst, m.epochs);
+  return worst;
+}
+
+double CampaignResult::worst_min_separation() const noexcept {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& m : runs) {
+    worst = std::min(worst, m.min_observed_separation);
+  }
+  return worst;
 }
 
 namespace {

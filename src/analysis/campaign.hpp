@@ -193,6 +193,15 @@ struct CampaignResult {
   /// Summary over CONVERGED runs' epoch counts.
   [[nodiscard]] util::Summary epochs() const;
   [[nodiscard]] util::Summary moves() const;
+  /// Worst case over ALL runs (converged or not): the largest epoch count.
+  /// 0 when the campaign produced no metrics. Unlike epochs().max this
+  /// includes stalled and budget-exhausted runs — the adversarial tail the
+  /// search subsystem hunts (DESIGN.md §16).
+  [[nodiscard]] std::size_t max_epochs() const noexcept;
+  /// Worst (smallest) audited closest approach over ALL runs — the
+  /// near-miss margin. Meaningful only when audit_collisions was set;
+  /// +infinity when the campaign produced no metrics.
+  [[nodiscard]] double worst_min_separation() const noexcept;
 };
 
 /// Runs the campaign on the given pool (nullptr -> util::global_pool()).

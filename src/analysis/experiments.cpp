@@ -633,7 +633,8 @@ ExperimentResult run_crash_tolerance(const ScenarioSpec& spec,
       "inflation vs crash budget f";
   result.columns = {"N",          "f",          "runs",
                     "quiescent",  "visible",    "budget-exh",
-                    "crashes(mean)", "epochs(mean)", "inflation"};
+                    "crashes(mean)", "epochs(mean)", "epochs(max)",
+                    "inflation"};
   const std::size_t fs[] = {0, 1, 2, 4, 8};
   bool fault_free_clean = true;
 
@@ -668,6 +669,7 @@ ExperimentResult run_crash_tolerance(const ScenarioSpec& spec,
           cell(r.outcome_count(sim::RunOutcome::kBudgetExhausted)),
           cell(crashes_mean, 2),
           cell(epochs_mean, 1),
+          cell(r.max_epochs()),
           baseline_epochs > 0.0 ? cell(epochs_mean / baseline_epochs, 2)
                                 : cell("-")};
     }
@@ -700,7 +702,8 @@ ExperimentResult run_light_corruption(const ScenarioSpec& spec,
       "misread probability";
   result.columns = {"mode",      "p",        "runs",
                     "quiescent", "visible",  "position-coll",
-                    "crossings", "corrupted-reads", "blamed-light"};
+                    "crossings", "min-sep(worst)", "corrupted-reads",
+                    "blamed-light"};
   const std::size_t n = spec.ns.front();
   const double ps[] = {0.0, 0.01, 0.05, 0.1, 0.25, 0.5};
   bool fault_free_clean = true;
@@ -728,6 +731,8 @@ ExperimentResult run_light_corruption(const ScenarioSpec& spec,
                     cell(r.visibility_ok_count()),
                     cell(collisions),
                     cell(crossings),
+                    r.runs.empty() ? cell("-")
+                                   : cell(r.worst_min_separation(), 4),
                     cell(static_cast<std::size_t>(
                         r.fault_totals().corrupted_reads)),
                     cell(blamed_light)};
@@ -758,7 +763,7 @@ ExperimentResult run_sensor_noise(const ScenarioSpec& spec,
       "position-error sigma";
   result.columns = {"sigma",      "dropout", "runs",
                     "quiescent",  "visible", "budget-exh",
-                    "perturbed(mean)", "epochs(mean)"};
+                    "perturbed(mean)", "epochs(mean)", "epochs(max)"};
   const std::size_t n = spec.ns.front();
   const double sigmas[] = {0.0, 1e-3, 3e-3, 0.01, 0.03, 0.1};
   bool fault_free_clean = true;
@@ -787,7 +792,8 @@ ExperimentResult run_sensor_noise(const ScenarioSpec& spec,
         cell(static_cast<double>(r.fault_totals().perturbed_observations) /
                  static_cast<double>(std::max<std::size_t>(1, r.runs.size())),
              0),
-        cell(r.epochs().mean, 1)};
+        cell(r.epochs().mean, 1),
+        cell(r.max_epochs())};
   }
 
   result.notes.push_back(strfmt(
@@ -904,9 +910,22 @@ ScenarioSpec make_defaults(std::vector<std::size_t> ns, std::size_t runs,
 
 }  // namespace
 
-const ExperimentRegistry& ExperimentRegistry::instance() {
-  static const ExperimentRegistry registry;
+ExperimentRegistry& ExperimentRegistry::mutable_instance() {
+  static ExperimentRegistry registry;
   return registry;
+}
+
+const ExperimentRegistry& ExperimentRegistry::instance() {
+  return mutable_instance();
+}
+
+void ExperimentRegistry::register_external(Experiment experiment) {
+  ExperimentRegistry& registry = mutable_instance();
+  if (registry.find(experiment.id) != nullptr ||
+      registry.find(experiment.name) != nullptr) {
+    return;
+  }
+  registry.experiments_.push_back(std::move(experiment));
 }
 
 const Experiment* ExperimentRegistry::find(std::string_view name_or_id) const noexcept {

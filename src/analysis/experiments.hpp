@@ -87,6 +87,13 @@ class ExperimentRegistry {
   /// The process-wide registry with all built-in experiments.
   [[nodiscard]] static const ExperimentRegistry& instance();
 
+  /// Registers an experiment contributed by a HIGHER layer (lumen_search's
+  /// E13 hunt experiment registers itself through this from the bench
+  /// driver — lumen_analysis cannot link the search library without a
+  /// cycle). Idempotent per id: a second registration of an id is ignored.
+  /// Call before any threads query the registry (main(), not a ctor race).
+  static void register_external(Experiment experiment);
+
   [[nodiscard]] const std::vector<Experiment>& experiments() const noexcept {
     return experiments_;
   }
@@ -95,6 +102,7 @@ class ExperimentRegistry {
 
  private:
   ExperimentRegistry();
+  [[nodiscard]] static ExperimentRegistry& mutable_instance();
   std::vector<Experiment> experiments_;
 };
 

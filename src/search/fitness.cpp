@@ -1,0 +1,72 @@
+#include "search/fitness.hpp"
+
+namespace lumen::search {
+
+std::string_view to_string(FitnessKind k) noexcept {
+  switch (k) {
+    case FitnessKind::kEpochs:
+      return "epochs";
+    case FitnessKind::kMinSeparation:
+      return "min-separation";
+    case FitnessKind::kOutcome:
+      return "outcome";
+  }
+  return "epochs";
+}
+
+std::optional<FitnessKind> fitness_from_string(std::string_view name) noexcept {
+  if (name == "epochs") return FitnessKind::kEpochs;
+  if (name == "min-separation") return FitnessKind::kMinSeparation;
+  if (name == "outcome") return FitnessKind::kOutcome;
+  return std::nullopt;
+}
+
+const std::vector<FitnessKind>& all_fitness_kinds() {
+  static const std::vector<FitnessKind> kinds = {FitnessKind::kEpochs,
+                                                 FitnessKind::kMinSeparation,
+                                                 FitnessKind::kOutcome};
+  return kinds;
+}
+
+int outcome_rank(sim::RunOutcome outcome) noexcept {
+  switch (outcome) {
+    case sim::RunOutcome::kConverged:
+      return 0;
+    case sim::RunOutcome::kStalled:
+      return 1;
+    case sim::RunOutcome::kDeadlineExceeded:
+      return 2;
+    case sim::RunOutcome::kBudgetExhausted:
+      return 3;
+    case sim::RunOutcome::kCollision:
+      return 4;
+  }
+  return 0;
+}
+
+double fitness_score(FitnessKind kind, const analysis::RunMetrics& m) noexcept {
+  switch (kind) {
+    case FitnessKind::kEpochs: {
+      double score = static_cast<double>(m.epochs);
+      if (m.outcome == sim::RunOutcome::kBudgetExhausted ||
+          m.outcome == sim::RunOutcome::kDeadlineExceeded) {
+        score += 1e6;
+      } else if (m.outcome == sim::RunOutcome::kCollision) {
+        score += 2e6;
+      }
+      return score;
+    }
+    case FitnessKind::kMinSeparation:
+      return 1e6 * static_cast<double>(m.position_collisions) -
+             m.min_observed_separation;
+    case FitnessKind::kOutcome:
+      return 1e6 * outcome_rank(m.outcome) + static_cast<double>(m.epochs);
+  }
+  return 0.0;
+}
+
+bool fitness_needs_audit(FitnessKind kind) noexcept {
+  return kind == FitnessKind::kMinSeparation || kind == FitnessKind::kOutcome;
+}
+
+}  // namespace lumen::search

@@ -1,0 +1,449 @@
+#include "search/hunt.hpp"
+
+#include "search/minimize.hpp"
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace lumen::search {
+namespace {
+
+constexpr double kFailedScore = std::numeric_limits<double>::lowest();
+
+bool stop_requested(const analysis::CampaignControl& control) {
+  return control.stop != nullptr &&
+         control.stop->load(std::memory_order_relaxed);
+}
+
+/// Proposal order doubles as the deterministic tiebreak: of two equal
+/// scores, the EARLIER evaluation wins, so the trajectory never depends on
+/// sort stability or pool interleaving.
+struct Scored {
+  Evaluation evaluation;
+  std::size_t order = 0;
+};
+
+bool better(const Scored& a, const Scored& b) {
+  if (a.evaluation.score != b.evaluation.score) {
+    return a.evaluation.score > b.evaluation.score;
+  }
+  return a.order < b.order;
+}
+
+/// Evaluates a whole batch over the pool. Plans were assembled before this
+/// call, out[] is index-addressed, and each evaluation is a pure function
+/// of its plan — so the batch result is identical for any pool size.
+std::vector<Evaluation> evaluate_batch(const HuntSpec& spec,
+                                       const std::vector<AdversaryPlan>& plans,
+                                       util::ThreadPool& pool,
+                                       const analysis::CampaignControl& control) {
+  std::vector<Evaluation> out(plans.size());
+  if (plans.empty()) return out;
+  pool.parallel_for_slots(plans.size(),
+                          [&](std::size_t, std::size_t index) {
+                            out[index] =
+                                evaluate_plan(spec, plans[index], &pool, control);
+                          });
+  return out;
+}
+
+/// Appends a finished batch to the result, updating the running best.
+/// Returns false when the batch was cut short by a cooperative stop (the
+/// partial batch is discarded: a resumed hunt re-proposes it from the seed
+/// and merges the journaled cells back bit-identically).
+bool absorb_batch(HuntResult& result, std::vector<Scored>& scored,
+                  std::vector<Evaluation> batch,
+                  const analysis::CampaignControl& control) {
+  if (stop_requested(control)) {
+    result.stopped = true;
+    return false;
+  }
+  for (Evaluation& evaluation : batch) {
+    Scored entry{std::move(evaluation), result.history.size()};
+    result.history.push_back(entry.evaluation);
+    ++result.evaluations;
+    if (!entry.evaluation.failed) {
+      if (!result.best.has_value() ||
+          entry.evaluation.score > result.best->score) {
+        result.best = entry.evaluation;
+      }
+      scored.push_back(std::move(entry));
+    }
+  }
+  return true;
+}
+
+void run_mu_plus_lambda(HuntResult& result, const HuntSpec& spec,
+                        util::ThreadPool& pool,
+                        const analysis::CampaignControl& control) {
+  util::Prng rng(spec.hunt_seed);
+  util::Prng init_rng = rng.split("hunt-init");
+
+  AdversaryPlan base = spec.seed_plan;
+  clamp_plan(base, spec.bounds);
+
+  std::vector<AdversaryPlan> initial;
+  initial.push_back(base);
+  while (initial.size() < spec.population) {
+    initial.push_back(random_plan(base, spec.bounds, init_rng));
+  }
+  if (initial.size() > spec.budget) initial.resize(spec.budget);
+
+  std::vector<Scored> elite;
+  if (!absorb_batch(result, elite,
+                    evaluate_batch(spec, initial, pool, control), control)) {
+    return;
+  }
+
+  for (std::uint64_t generation = 0; result.evaluations < spec.budget;
+       ++generation) {
+    util::Prng gen_rng = rng.split("hunt-gen").split(generation);
+    const std::size_t remaining = spec.budget - result.evaluations;
+    const std::size_t lambda = std::min(spec.offspring, remaining);
+
+    std::vector<AdversaryPlan> children;
+    children.reserve(lambda);
+    for (std::size_t k = 0; k < lambda; ++k) {
+      util::Prng child_rng = gen_rng.split(static_cast<std::uint64_t>(k));
+      if (elite.empty()) {
+        children.push_back(random_plan(base, spec.bounds, child_rng));
+        continue;
+      }
+      const auto tournament = [&]() -> const Scored& {
+        const Scored& a = elite[child_rng.next_below(elite.size())];
+        const Scored& b = elite[child_rng.next_below(elite.size())];
+        return better(a, b) ? a : b;
+      };
+      const Scored& parent = tournament();
+      AdversaryPlan child = parent.evaluation.plan;
+      if (child_rng.bernoulli(spec.crossover_rate)) {
+        const Scored& other = tournament();
+        child = crossover(child, other.evaluation.plan, child_rng);
+      }
+      child = mutate(child, spec.bounds, child_rng);
+      children.push_back(child);
+    }
+
+    if (!absorb_batch(result, elite,
+                      evaluate_batch(spec, children, pool, control), control)) {
+      return;
+    }
+    std::sort(elite.begin(), elite.end(), better);
+    if (elite.size() > spec.population) elite.resize(spec.population);
+  }
+}
+
+/// One bandit arm: a (scheduler-appropriate kind, fault emphasis) family.
+struct Arm {
+  sched::AdversaryKind adversary = sched::AdversaryKind::kUniform;
+  sched::ActivationKind activation = sched::ActivationKind::kRandomHalf;
+  /// 0 = schedule-only, 1 = crash, 2 = light, 3 = noise, 4 = mixed.
+  int emphasis = 0;
+  double total = 0.0;
+  std::size_t pulls = 0;
+  std::optional<Scored> best;
+
+  [[nodiscard]] double mean() const noexcept {
+    return pulls == 0 ? 0.0 : total / static_cast<double>(pulls);
+  }
+};
+
+void apply_arm_family(AdversaryPlan& plan, const Arm& arm, const HuntSpec& spec,
+                      util::Prng& rng) {
+  plan.adversary = arm.adversary;
+  plan.activation = arm.activation;
+  switch (arm.emphasis) {
+    case 0:
+      plan.fault = fault::FaultPlan{};
+      break;
+    case 1:
+      plan.fault.light = fault::LightCorruptionPlan{};
+      plan.fault.noise = fault::SensorNoisePlan{};
+      if (!plan.fault.crash.active()) {
+        randomize_crash_channel(plan.fault, spec.bounds, rng);
+      }
+      break;
+    case 2:
+      plan.fault.crash = fault::CrashPlan{};
+      plan.fault.noise = fault::SensorNoisePlan{};
+      if (!plan.fault.light.active()) {
+        randomize_light_channel(plan.fault, spec.bounds, rng);
+      }
+      break;
+    case 3:
+      plan.fault.crash = fault::CrashPlan{};
+      plan.fault.light = fault::LightCorruptionPlan{};
+      if (!plan.fault.noise.active()) {
+        randomize_noise_channel(plan.fault, spec.bounds, rng);
+      }
+      break;
+    default:
+      if (!plan.fault.any()) {
+        randomize_crash_channel(plan.fault, spec.bounds, rng);
+        randomize_light_channel(plan.fault, spec.bounds, rng);
+      }
+      break;
+  }
+  clamp_plan(plan, spec.bounds);
+}
+
+void run_bandit(HuntResult& result, const HuntSpec& spec,
+                util::ThreadPool& pool,
+                const analysis::CampaignControl& control) {
+  util::Prng rng(spec.hunt_seed);
+
+  // Arms: every scheduler-appropriate kind x fault emphasis. The kind
+  // dimension collapses to one entry for FSYNC (no timing/activation choice
+  // survives the engine there).
+  std::vector<Arm> arms;
+  const auto add_arms = [&](sched::AdversaryKind adversary,
+                            sched::ActivationKind activation) {
+    for (int emphasis = 0; emphasis < 5; ++emphasis) {
+      Arm arm;
+      arm.adversary = adversary;
+      arm.activation = activation;
+      arm.emphasis = emphasis;
+      arms.push_back(arm);
+    }
+  };
+  AdversaryPlan base = spec.seed_plan;
+  clamp_plan(base, spec.bounds);
+  switch (base.scheduler) {
+    case sim::SchedulerKind::kAsync:
+      for (const auto kind :
+           {sched::AdversaryKind::kUniform, sched::AdversaryKind::kBursty,
+            sched::AdversaryKind::kStallOne, sched::AdversaryKind::kLockstep}) {
+        add_arms(kind, base.activation);
+      }
+      break;
+    case sim::SchedulerKind::kSsync:
+      for (const auto kind :
+           {sched::ActivationKind::kRandomHalf, sched::ActivationKind::kSingleton,
+            sched::ActivationKind::kRandomSingle}) {
+        add_arms(base.adversary, kind);
+      }
+      break;
+    case sim::SchedulerKind::kFsync:
+      add_arms(base.adversary, sched::ActivationKind::kAll);
+      break;
+  }
+
+  std::vector<Scored> all_scored;  // Unused beyond best tracking; absorb needs it.
+  for (std::uint64_t round = 0; result.evaluations < spec.budget; ++round) {
+    util::Prng round_rng = rng.split("hunt-round").split(round);
+    const std::size_t remaining = spec.budget - result.evaluations;
+    const std::size_t pulls = std::min(spec.batch, remaining);
+
+    // Pick arms first (deterministic in the means observed so far), then
+    // build all candidate plans, then evaluate the whole batch.
+    std::vector<std::size_t> picked;
+    picked.reserve(pulls);
+    std::vector<char> pending(arms.size(), 0);
+    for (std::size_t k = 0; k < pulls; ++k) {
+      // Cold start: sweep every arm once before exploiting.
+      std::size_t choice = arms.size();
+      for (std::size_t i = 0; i < arms.size(); ++i) {
+        if (arms[i].pulls == 0 && pending[i] == 0) {
+          choice = i;
+          break;
+        }
+      }
+      if (choice == arms.size()) {
+        if (round_rng.bernoulli(spec.epsilon)) {
+          choice = round_rng.next_below(arms.size());
+        } else {
+          choice = 0;
+          for (std::size_t i = 1; i < arms.size(); ++i) {
+            if (arms[i].mean() > arms[choice].mean()) choice = i;
+          }
+        }
+      }
+      pending[choice] = 1;
+      picked.push_back(choice);
+    }
+
+    std::vector<AdversaryPlan> candidates;
+    candidates.reserve(picked.size());
+    for (std::size_t k = 0; k < picked.size(); ++k) {
+      util::Prng pick_rng = round_rng.split(static_cast<std::uint64_t>(k));
+      const Arm& arm = arms[picked[k]];
+      AdversaryPlan plan = arm.best.has_value()
+                               ? mutate(arm.best->evaluation.plan, spec.bounds,
+                                        pick_rng)
+                               : random_plan(base, spec.bounds, pick_rng);
+      apply_arm_family(plan, arm, spec, pick_rng);
+      candidates.push_back(plan);
+    }
+
+    const std::size_t first_order = result.history.size();
+    if (!absorb_batch(result, all_scored,
+                      evaluate_batch(spec, candidates, pool, control),
+                      control)) {
+      return;
+    }
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      Arm& arm = arms[picked[k]];
+      const Evaluation& evaluation = result.history[first_order + k];
+      ++arm.pulls;
+      if (evaluation.failed) continue;
+      arm.total += evaluation.score;
+      Scored entry{evaluation, first_order + k};
+      if (!arm.best.has_value() || better(entry, *arm.best)) {
+        arm.best = std::move(entry);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(StrategyKind k) noexcept {
+  switch (k) {
+    case StrategyKind::kMuPlusLambda:
+      return "mu-lambda";
+    case StrategyKind::kBandit:
+      return "bandit";
+  }
+  return "mu-lambda";
+}
+
+std::optional<StrategyKind> strategy_from_string(std::string_view name) noexcept {
+  if (name == "mu-lambda") return StrategyKind::kMuPlusLambda;
+  if (name == "bandit") return StrategyKind::kBandit;
+  return std::nullopt;
+}
+
+std::string validate_hunt_spec(const HuntSpec& spec) {
+  if (spec.budget < 1) return "budget must be >= 1";
+  if (spec.population < 1) return "population must be >= 1";
+  if (spec.offspring < 1) return "offspring must be >= 1";
+  if (spec.batch < 1) return "batch must be >= 1";
+  if (!(spec.epsilon >= 0.0 && spec.epsilon <= 1.0)) {
+    return "epsilon must be in [0, 1]";
+  }
+  if (!(spec.crossover_rate >= 0.0 && spec.crossover_rate <= 1.0)) {
+    return "crossover_rate must be in [0, 1]";
+  }
+  if (!(spec.keep_fraction > 0.0 && spec.keep_fraction <= 1.0)) {
+    return "keep_fraction must be in (0, 1]";
+  }
+  if (spec.bounds.n_min < 1) return "bounds.n_min must be >= 1";
+  if (spec.bounds.n_min > spec.bounds.n_max) {
+    return "bounds.n_min must be <= bounds.n_max";
+  }
+  if (spec.max_cycles_per_robot < 1) return "max_cycles_per_robot must be >= 1";
+  // Everything the campaign layer would reject per evaluation (unknown
+  // algorithm, fault domains, min_separation) fails fast here instead.
+  AdversaryPlan probe = spec.seed_plan;
+  clamp_plan(probe, spec.bounds);
+  const std::string campaign_error =
+      validate_campaign_spec(hunt_scenario(spec, probe).campaign(probe.n));
+  if (!campaign_error.empty()) return campaign_error;
+  return "";
+}
+
+analysis::ScenarioSpec hunt_scenario(const HuntSpec& spec,
+                                     const AdversaryPlan& plan) {
+  analysis::ScenarioSpec scenario;
+  scenario.algorithm = spec.algorithm;
+  scenario.family = spec.family;
+  scenario.ns = {plan.n};
+  scenario.runs = 1;
+  scenario.seed_base = plan.seed;
+  scenario.min_separation = spec.min_separation;
+  scenario.audit_collisions = fitness_needs_audit(spec.fitness);
+  scenario.collision_tolerance = spec.collision_tolerance;
+  scenario.run.scheduler = plan.scheduler;
+  scenario.run.adversary = plan.adversary;
+  scenario.run.activation = plan.activation;
+  scenario.run.max_cycles_per_robot = spec.max_cycles_per_robot;
+  scenario.run.fault = plan.fault;
+  return scenario;
+}
+
+Evaluation evaluate_plan(const HuntSpec& spec, const AdversaryPlan& plan,
+                         util::ThreadPool* pool,
+                         const analysis::CampaignControl& control) {
+  Evaluation evaluation;
+  evaluation.plan = plan;
+  const analysis::CampaignSpec campaign =
+      hunt_scenario(spec, plan).campaign(plan.n);
+  const analysis::CampaignResult result =
+      analysis::run_campaign(campaign, pool, control);
+  if (result.runs.size() == 1) {
+    evaluation.metrics = result.runs.front();
+    evaluation.score = fitness_score(spec.fitness, evaluation.metrics);
+  } else {
+    evaluation.failed = true;
+    evaluation.score = kFailedScore;
+  }
+  return evaluation;
+}
+
+std::vector<Evaluation> evaluate_plans(const HuntSpec& spec,
+                                       const std::vector<AdversaryPlan>& plans,
+                                       util::ThreadPool* pool,
+                                       const analysis::CampaignControl& control) {
+  util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
+  return evaluate_batch(spec, plans, workers, control);
+}
+
+HuntResult run_hunt(const HuntSpec& spec, util::ThreadPool* pool,
+                    const analysis::CampaignControl& control) {
+  HuntResult result;
+  result.spec = spec;
+  result.error = validate_hunt_spec(spec);
+  if (!result.error.empty()) return result;
+
+  util::ThreadPool& workers = pool != nullptr ? *pool : util::global_pool();
+  switch (spec.strategy) {
+    case StrategyKind::kMuPlusLambda:
+      run_mu_plus_lambda(result, spec, workers, control);
+      break;
+    case StrategyKind::kBandit:
+      run_bandit(result, spec, workers, control);
+      break;
+  }
+
+  if (result.best.has_value() && !result.stopped) {
+    MinimizeOutcome minimized =
+        minimize_plan(spec, *result.best, &workers, control);
+    result.minimize_evals = minimized.evaluations;
+    result.minimize_accepted = minimized.accepted;
+    for (Evaluation& evaluation : minimized.trail) {
+      result.history.push_back(std::move(evaluation));
+    }
+    if (stop_requested(control)) {
+      result.stopped = true;
+    } else {
+      result.minimized = std::move(minimized.evaluation);
+    }
+  }
+  return result;
+}
+
+std::uint64_t hunt_digest(const HuntResult& result) {
+  std::string blob;
+  blob.reserve(result.history.size() * 160);
+  char buffer[64];
+  for (const Evaluation& evaluation : result.history) {
+    blob += plan_fingerprint(evaluation.plan);
+    std::snprintf(buffer, sizeof buffer, "|%.17g|", evaluation.score);
+    blob += buffer;
+    blob += evaluation.failed
+                ? std::string_view("failed")
+                : sim::to_string(evaluation.metrics.outcome);
+    blob += '\n';
+  }
+  if (result.minimized.has_value()) {
+    blob += "minimized:";
+    blob += plan_fingerprint(result.minimized->plan);
+    std::snprintf(buffer, sizeof buffer, "|%.17g\n", result.minimized->score);
+    blob += buffer;
+  }
+  return util::fnv1a(blob);
+}
+
+}  // namespace lumen::search

@@ -1,0 +1,136 @@
+// lumen_search: the hunt driver.
+//
+// A hunt is an optimization loop over AdversaryPlan space: a strategy
+// proposes batches of plans, the campaign layer evaluates each plan as one
+// deterministic single-cell campaign (the fitness oracle), and the best
+// plan found is handed to the shrinking minimizer (minimize.hpp). Plans are
+// proposed on the driver thread only; evaluations fan out over the shared
+// ThreadPool. Because every evaluation is a pure function of its plan and
+// batches are assembled before any evaluation starts, the whole trajectory
+// — every plan proposed, every score observed, the best and the minimized
+// plan — is bit-identical for any pool size, pinned by a golden digest in
+// tests/search_test.cpp.
+//
+// Evaluations reuse the campaign resilience hooks verbatim: pass a
+// CampaignControl with a journal and resume snapshot and a killed hunt
+// resumes exactly like a killed campaign (each plan is its own campaign
+// key; journal files hold many keys).
+#pragma once
+
+#include "analysis/scenario.hpp"
+#include "search/fitness.hpp"
+#include "search/plan.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lumen::search {
+
+enum class StrategyKind {
+  kMuPlusLambda,  ///< (μ+λ) evolutionary loop: mutate/cross the elite.
+  kBandit,        ///< Epsilon-greedy bandit over plan families.
+};
+
+[[nodiscard]] std::string_view to_string(StrategyKind k) noexcept;
+
+/// Exact-name inverse ("mu-lambda" / "bandit"); nullopt for unknown names.
+[[nodiscard]] std::optional<StrategyKind> strategy_from_string(
+    std::string_view name) noexcept;
+
+struct HuntSpec {
+  std::string algorithm = "async-log";
+  gen::ConfigFamily family = gen::ConfigFamily::kUniformDisk;
+  FitnessKind fitness = FitnessKind::kEpochs;
+  StrategyKind strategy = StrategyKind::kMuPlusLambda;
+  /// Template plan: fixes the scheduler (and seeds the initial population).
+  AdversaryPlan seed_plan;
+  PlanBounds bounds;
+  std::uint64_t hunt_seed = 1;
+  /// Total evaluation budget for the search loop (the minimizer draws from
+  /// its own minimize_budget on top).
+  std::size_t budget = 256;
+  std::size_t population = 8;   ///< μ — survivors per generation.
+  std::size_t offspring = 16;   ///< λ — children per generation.
+  double crossover_rate = 0.5;  ///< P(child gets two parents).
+  double epsilon = 0.25;        ///< Bandit exploration probability.
+  std::size_t batch = 16;       ///< Bandit arm pulls per round.
+  /// Evaluation-cell knobs (mirrors CampaignSpec).
+  double min_separation = 1e-3;
+  double collision_tolerance = 0.0;
+  std::size_t max_cycles_per_robot = 256;
+  /// Minimizer knobs (see minimize.hpp).
+  std::size_t minimize_budget = 96;
+  double keep_fraction = 1.0;
+};
+
+/// Everything the hunt validator checks beyond what the campaign validator
+/// will re-check per evaluation. Empty string when valid.
+[[nodiscard]] std::string validate_hunt_spec(const HuntSpec& spec);
+
+/// One scored plan. `failed` marks evaluations whose cell errored (score is
+/// the lowest double; metrics are default); they stay in the history (the
+/// digest covers them) but never win.
+struct Evaluation {
+  AdversaryPlan plan;
+  analysis::RunMetrics metrics;
+  double score = 0.0;
+  bool failed = false;
+};
+
+struct HuntResult {
+  HuntSpec spec;
+  /// Every evaluation in proposal order — the deterministic trajectory.
+  std::vector<Evaluation> history;
+  /// Best by (score, then earliest in history). Unset only when the hunt
+  /// was stopped before any evaluation finished.
+  std::optional<Evaluation> best;
+  /// The minimizer's shrunken equivalent of `best` (== best when no shrink
+  /// step preserved the score).
+  std::optional<Evaluation> minimized;
+  std::size_t evaluations = 0;      ///< Search-loop evaluations performed.
+  std::size_t minimize_evals = 0;   ///< Minimizer evaluations performed.
+  std::size_t minimize_accepted = 0;  ///< Accepted shrink steps.
+  bool stopped = false;  ///< Cooperative stop fired; result is partial.
+  /// Non-empty when the spec failed validation; nothing ran.
+  std::string error;
+};
+
+/// Projects (hunt, plan) onto the declarative scenario layer: a runs=1,
+/// ns={plan.n}, seed_base=plan.seed ScenarioSpec. Both the hunt's fitness
+/// oracle and the committed regression scenarios are THIS projection run
+/// through run_campaign, so a replayed scenario reproduces its hunt
+/// evaluation bit-for-bit.
+[[nodiscard]] analysis::ScenarioSpec hunt_scenario(const HuntSpec& spec,
+                                                   const AdversaryPlan& plan);
+
+/// Evaluates one plan (one single-cell campaign on the caller thread; the
+/// pool only feeds the in-run SYNC fan-out when called from the driver).
+[[nodiscard]] Evaluation evaluate_plan(const HuntSpec& spec,
+                                       const AdversaryPlan& plan,
+                                       util::ThreadPool* pool,
+                                       const analysis::CampaignControl& control);
+
+/// Evaluates a pre-assembled batch over the pool, index-addressed — the
+/// result is identical for any pool size (E13's uniform-sampling baseline
+/// and the strategies both ride this). nullptr pool -> util::global_pool().
+[[nodiscard]] std::vector<Evaluation> evaluate_plans(
+    const HuntSpec& spec, const std::vector<AdversaryPlan>& plans,
+    util::ThreadPool* pool = nullptr,
+    const analysis::CampaignControl& control = {});
+
+/// Runs the full hunt: strategy loop, then minimization of the winner.
+/// nullptr pool -> util::global_pool(). Control hooks work exactly as in
+/// run_campaign (journal / resume / cooperative stop).
+[[nodiscard]] HuntResult run_hunt(const HuntSpec& spec,
+                                  util::ThreadPool* pool = nullptr,
+                                  const analysis::CampaignControl& control = {});
+
+/// FNV-1a digest over the full trajectory (every plan fingerprint, score
+/// and outcome, plus the minimized plan): the constant tests pin to assert
+/// cross-pool-size and cross-platform hunt determinism.
+[[nodiscard]] std::uint64_t hunt_digest(const HuntResult& result);
+
+}  // namespace lumen::search

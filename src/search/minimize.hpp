@@ -1,0 +1,39 @@
+// lumen_search: delta-debugging minimizer for hunt winners.
+//
+// A raw worst-case plan found by the search loop usually carries freight:
+// fault events that never fire, a bigger swarm than the failure needs, an
+// exotic adversary kind when uniform would do. The minimizer shrinks the
+// plan through a fixed sequence of reduction passes — halve/decrement N,
+// drop individual crash instants, disable whole fault channels, halve
+// rates, canonicalize the adversary kinds — re-evaluating each candidate
+// and keeping it only when the badness survives: the outcome class must be
+// preserved exactly and the score must stay within the spec's
+// keep_fraction of the winner's. Passes repeat until a full sweep accepts
+// nothing (a 1-minimal plan w.r.t. the operator set) or the evaluation
+// budget runs out. Everything is driver-thread sequential and seeded by
+// nothing: the trajectory is a pure function of (spec, winner), so
+// minimization is as deterministic as the runs underneath.
+#pragma once
+
+#include "search/hunt.hpp"
+
+namespace lumen::search {
+
+struct MinimizeOutcome {
+  /// The shrunken evaluation (== the input winner when nothing shrank).
+  Evaluation evaluation;
+  /// Every candidate evaluation, in trial order (appended to the hunt
+  /// history so the digest covers the minimization trajectory too).
+  std::vector<Evaluation> trail;
+  std::size_t evaluations = 0;  ///< Candidates evaluated.
+  std::size_t accepted = 0;     ///< Candidates that preserved the badness.
+};
+
+/// Shrinks `winner` under spec.keep_fraction within spec.minimize_budget
+/// evaluations. The control hooks work as in run_hunt (journal / resume /
+/// cooperative stop; a stopped minimization returns the best-so-far).
+[[nodiscard]] MinimizeOutcome minimize_plan(
+    const HuntSpec& spec, const Evaluation& winner, util::ThreadPool* pool,
+    const analysis::CampaignControl& control = {});
+
+}  // namespace lumen::search

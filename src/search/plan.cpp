@@ -1,0 +1,335 @@
+#include "search/plan.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace lumen::search {
+namespace {
+
+constexpr std::array<sched::AdversaryKind, 4> kAdversaries = {
+    sched::AdversaryKind::kUniform, sched::AdversaryKind::kBursty,
+    sched::AdversaryKind::kStallOne, sched::AdversaryKind::kLockstep};
+
+// FSYNC forces kAll inside the engine, so searching it there is wasted
+// moves; the SSYNC-meaningful kinds are the searchable set.
+constexpr std::array<sched::ActivationKind, 3> kActivations = {
+    sched::ActivationKind::kRandomHalf, sched::ActivationKind::kSingleton,
+    sched::ActivationKind::kRandomSingle};
+
+constexpr std::array<fault::CorruptionMode, 3> kModes = {
+    fault::CorruptionMode::kStuck, fault::CorruptionMode::kFlip,
+    fault::CorruptionMode::kRandom};
+
+constexpr std::uint64_t kSeedMask = 0x7fffffffffffffffULL;
+
+double clamp01(double v, double hi) {
+  return std::min(std::max(v, 0.0), hi);
+}
+
+void random_crash(fault::CrashPlan& crash, const PlanBounds& bounds,
+                  util::Prng& rng) {
+  crash.count = 1 + static_cast<std::size_t>(rng.next_below(
+                        static_cast<std::uint64_t>(
+                            std::max<std::size_t>(bounds.crash_count_max, 1))));
+  if (rng.bernoulli(0.5)) {
+    crash.schedule = fault::CrashScheduleKind::kRate;
+    // Floor at 5% of the range so the channel is always active.
+    crash.rate = bounds.crash_rate_max * (0.05 + 0.95 * rng.next_double());
+    crash.times.clear();
+  } else {
+    crash.schedule = fault::CrashScheduleKind::kTimes;
+    crash.rate = 0.0;
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(
+                std::max<std::size_t>(bounds.crash_times_max, 1))));
+    crash.times.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      crash.times.push_back(rng.uniform(0.0, bounds.crash_time_max));
+    }
+  }
+}
+
+void random_light(fault::LightCorruptionPlan& light, const PlanBounds& bounds,
+                  util::Prng& rng) {
+  light.probability =
+      bounds.light_probability_max * (0.05 + 0.95 * rng.next_double());
+  light.mode = kModes[rng.next_below(kModes.size())];
+}
+
+void random_noise(fault::SensorNoisePlan& noise, const PlanBounds& bounds,
+                  util::Prng& rng) {
+  noise.sigma = bounds.noise_sigma_max * (0.05 + 0.95 * rng.next_double());
+  noise.dropout = rng.uniform(0.0, bounds.noise_dropout_max);
+}
+
+template <typename T, std::size_t N>
+T flip_kind(const std::array<T, N>& all, T current, util::Prng& rng) {
+  // Uniform among the OTHER kinds, so a flip always changes something.
+  std::array<T, N> others{};
+  std::size_t count = 0;
+  for (const T k : all) {
+    if (k != current) others[count++] = k;
+  }
+  if (count == 0) return current;
+  return others[rng.next_below(count)];
+}
+
+}  // namespace
+
+void clamp_plan(AdversaryPlan& plan, const PlanBounds& bounds) {
+  plan.n = std::min(std::max(plan.n, bounds.n_min), bounds.n_max);
+  plan.seed &= kSeedMask;
+  if (plan.scheduler == sim::SchedulerKind::kFsync) {
+    plan.activation = sched::ActivationKind::kAll;
+  } else if (plan.activation == sched::ActivationKind::kAll) {
+    plan.activation = sched::ActivationKind::kRandomHalf;
+  }
+  auto& crash = plan.fault.crash;
+  crash.count = std::min(crash.count, bounds.crash_count_max);
+  crash.rate = clamp01(crash.rate, std::min(bounds.crash_rate_max, 1.0));
+  if (crash.times.size() > bounds.crash_times_max) {
+    crash.times.resize(bounds.crash_times_max);
+  }
+  for (double& t : crash.times) {
+    t = std::min(std::max(t, 0.0), bounds.crash_time_max);
+  }
+  plan.fault.light.probability = clamp01(
+      plan.fault.light.probability, std::min(bounds.light_probability_max, 1.0));
+  plan.fault.noise.sigma = clamp01(plan.fault.noise.sigma, bounds.noise_sigma_max);
+  plan.fault.noise.dropout =
+      clamp01(plan.fault.noise.dropout, std::min(bounds.noise_dropout_max, 1.0));
+}
+
+AdversaryPlan random_plan(const AdversaryPlan& base, const PlanBounds& bounds,
+                          util::Prng& rng) {
+  AdversaryPlan plan;
+  plan.scheduler = base.scheduler;
+  if (bounds.mutate_scheduler) {
+    constexpr std::array<sim::SchedulerKind, 3> kSchedulers = {
+        sim::SchedulerKind::kFsync, sim::SchedulerKind::kSsync,
+        sim::SchedulerKind::kAsync};
+    plan.scheduler = kSchedulers[rng.next_below(kSchedulers.size())];
+  }
+  plan.adversary = kAdversaries[rng.next_below(kAdversaries.size())];
+  plan.activation = kActivations[rng.next_below(kActivations.size())];
+  plan.n = bounds.n_min +
+           static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(
+               bounds.n_max - std::min(bounds.n_min, bounds.n_max) + 1)));
+  plan.seed = rng() & kSeedMask;
+  if (rng.bernoulli(0.5)) random_crash(plan.fault.crash, bounds, rng);
+  if (rng.bernoulli(0.5)) random_light(plan.fault.light, bounds, rng);
+  if (rng.bernoulli(0.5)) random_noise(plan.fault.noise, bounds, rng);
+  clamp_plan(plan, bounds);
+  return plan;
+}
+
+AdversaryPlan mutate(const AdversaryPlan& plan, const PlanBounds& bounds,
+                     util::Prng& rng) {
+  AdversaryPlan out = plan;
+  const std::size_t ops = 1 + static_cast<std::size_t>(rng.next_below(2));
+  for (std::size_t op = 0; op < ops; ++op) {
+    switch (rng.next_below(8)) {
+      case 0:  // Fresh seed: jump to an unrelated configuration.
+        out.seed = rng() & kSeedMask;
+        break;
+      case 1:  // Seed nudge: a nearby stream, often a nearby configuration.
+        out.seed = (out.seed ^ (1ULL << rng.next_below(16))) & kSeedMask;
+        break;
+      case 2: {  // Size step.
+        const std::size_t step = 1 + static_cast<std::size_t>(rng.next_below(
+                                         std::max<std::uint64_t>(out.n / 4, 1)));
+        if (rng.bernoulli(0.5)) {
+          out.n += step;
+        } else {
+          out.n = out.n > step ? out.n - step : bounds.n_min;
+        }
+        break;
+      }
+      case 3:
+        out.adversary = flip_kind(kAdversaries, out.adversary, rng);
+        break;
+      case 4:
+        out.activation = flip_kind(kActivations, out.activation, rng);
+        break;
+      case 5: {  // Crash channel.
+        auto& crash = out.fault.crash;
+        if (!crash.active()) {
+          random_crash(crash, bounds, rng);
+          break;
+        }
+        switch (rng.next_below(5)) {
+          case 0:
+            crash.count = rng.bernoulli(0.5) ? crash.count + 1
+                                             : (crash.count > 0 ? crash.count - 1
+                                                                : 0);
+            break;
+          case 1:  // Swap schedule kind, re-rolling its parameters.
+            if (crash.schedule == fault::CrashScheduleKind::kRate) {
+              crash.schedule = fault::CrashScheduleKind::kTimes;
+              crash.rate = 0.0;
+              crash.times = {rng.uniform(0.0, bounds.crash_time_max)};
+            } else {
+              crash.schedule = fault::CrashScheduleKind::kRate;
+              crash.times.clear();
+              crash.rate = rng.uniform(0.0, bounds.crash_rate_max);
+            }
+            break;
+          case 2:
+            crash.rate *= rng.uniform(0.5, 2.0);
+            break;
+          case 3:  // Add / drop an explicit crash instant.
+            if (crash.times.empty() || rng.bernoulli(0.5)) {
+              crash.times.push_back(rng.uniform(0.0, bounds.crash_time_max));
+            } else {
+              crash.times.erase(crash.times.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    rng.next_below(crash.times.size())));
+            }
+            break;
+          default:  // Perturb one instant.
+            if (!crash.times.empty()) {
+              double& t = crash.times[rng.next_below(crash.times.size())];
+              t += rng.uniform(-4.0, 4.0);
+            }
+            break;
+        }
+        break;
+      }
+      case 6: {  // Light channel.
+        auto& light = out.fault.light;
+        if (!light.active()) {
+          random_light(light, bounds, rng);
+        } else if (rng.bernoulli(0.25)) {
+          light.probability = 0.0;
+        } else if (rng.bernoulli(0.5)) {
+          light.probability *= rng.uniform(0.5, 2.0);
+        } else {
+          light.mode = flip_kind(kModes, light.mode, rng);
+        }
+        break;
+      }
+      default: {  // Noise channel.
+        auto& noise = out.fault.noise;
+        if (!noise.active()) {
+          random_noise(noise, bounds, rng);
+        } else if (rng.bernoulli(0.25)) {
+          noise.sigma = 0.0;
+          noise.dropout = 0.0;
+        } else if (rng.bernoulli(0.5)) {
+          noise.sigma *= rng.uniform(0.5, 2.0);
+        } else {
+          noise.dropout *= rng.uniform(0.5, 2.0);
+        }
+        break;
+      }
+    }
+  }
+  clamp_plan(out, bounds);
+  return out;
+}
+
+void randomize_crash_channel(fault::FaultPlan& fault, const PlanBounds& bounds,
+                             util::Prng& rng) {
+  random_crash(fault.crash, bounds, rng);
+}
+
+void randomize_light_channel(fault::FaultPlan& fault, const PlanBounds& bounds,
+                             util::Prng& rng) {
+  random_light(fault.light, bounds, rng);
+}
+
+void randomize_noise_channel(fault::FaultPlan& fault, const PlanBounds& bounds,
+                             util::Prng& rng) {
+  random_noise(fault.noise, bounds, rng);
+}
+
+AdversaryPlan crossover(const AdversaryPlan& a, const AdversaryPlan& b,
+                        util::Prng& rng) {
+  AdversaryPlan out = a;
+  out.adversary = rng.bernoulli(0.5) ? a.adversary : b.adversary;
+  out.activation = rng.bernoulli(0.5) ? a.activation : b.activation;
+  out.n = rng.bernoulli(0.5) ? a.n : b.n;
+  out.seed = rng.bernoulli(0.5) ? a.seed : b.seed;
+  out.fault.crash = rng.bernoulli(0.5) ? a.fault.crash : b.fault.crash;
+  out.fault.light = rng.bernoulli(0.5) ? a.fault.light : b.fault.light;
+  out.fault.noise = rng.bernoulli(0.5) ? a.fault.noise : b.fault.noise;
+  return out;
+}
+
+util::JsonValue adversary_plan_to_json(const AdversaryPlan& plan) {
+  util::JsonValue obj = util::JsonValue::object();
+  obj.set("scheduler",
+          util::JsonValue::string(std::string(sim::to_string(plan.scheduler))));
+  obj.set("adversary", util::JsonValue::string(
+                           std::string(sched::to_string(plan.adversary))));
+  obj.set("activation", util::JsonValue::string(
+                            std::string(sched::to_string(plan.activation))));
+  obj.set("n", util::JsonValue::integer(static_cast<std::int64_t>(plan.n)));
+  obj.set("seed", util::JsonValue::integer(static_cast<std::int64_t>(plan.seed)));
+  obj.set("fault", fault::fault_plan_to_json(plan.fault));
+  return obj;
+}
+
+std::optional<AdversaryPlan> adversary_plan_from_json(
+    const util::JsonValue& json, std::string* error) {
+  const auto fail = [&](std::string message) -> std::optional<AdversaryPlan> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  if (!json.is_object()) return fail("plan must be an object");
+  AdversaryPlan plan;
+  for (const auto& [key, value] : json.members()) {
+    if (key == "scheduler") {
+      if (!value.is_string()) return fail("plan.scheduler must be a string");
+      const auto parsed = sim::scheduler_from_string(value.as_string());
+      if (!parsed) {
+        return fail("plan.scheduler: unknown scheduler '" + value.as_string() +
+                    "'");
+      }
+      plan.scheduler = *parsed;
+    } else if (key == "adversary") {
+      if (!value.is_string()) return fail("plan.adversary must be a string");
+      const auto parsed = sched::adversary_from_string(value.as_string());
+      if (!parsed) {
+        return fail("plan.adversary: unknown adversary '" + value.as_string() +
+                    "'");
+      }
+      plan.adversary = *parsed;
+    } else if (key == "activation") {
+      if (!value.is_string()) return fail("plan.activation must be a string");
+      const auto parsed = sched::activation_from_string(value.as_string());
+      if (!parsed) {
+        return fail("plan.activation: unknown activation '" +
+                    value.as_string() + "'");
+      }
+      plan.activation = *parsed;
+    } else if (key == "n") {
+      if (!value.is_integer() || value.as_int() < 1) {
+        return fail("plan.n must be a positive integer");
+      }
+      plan.n = static_cast<std::size_t>(value.as_int());
+    } else if (key == "seed") {
+      if (!value.is_integer() || value.as_int() < 0) {
+        return fail("plan.seed must be a non-negative integer");
+      }
+      plan.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "fault") {
+      std::string fault_error;
+      const auto parsed = fault::fault_plan_from_json(value, &fault_error);
+      if (!parsed) return fail("plan." + fault_error);
+      plan.fault = *parsed;
+    } else {
+      return fail("plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string plan_fingerprint(const AdversaryPlan& plan) {
+  return util::json_write(adversary_plan_to_json(plan), 0);
+}
+
+}  // namespace lumen::search

@@ -1,0 +1,107 @@
+// lumen_search: the adversary genome.
+//
+// An AdversaryPlan is everything the search driver is allowed to vary when
+// hunting for worst cases: the timing/activation adversary, the swarm size,
+// the run seed (which fixes both the initial configuration and every
+// schedule/fault stream), and a full fault::FaultPlan. A plan plus a
+// HuntSpec (hunt.hpp) projects onto exactly one campaign cell, so every
+// fitness evaluation is a deterministic, journalable unit of work — the
+// same contract campaigns already have.
+//
+// Plans serialize through util::JsonValue with the ScenarioSpec byte-exact
+// round-trip guarantee, and the seeded mutation / crossover operators are
+// pure functions of (input plans, bounds, rng state): a hunt's whole
+// trajectory replays bit-identically from its seed (tests/search_test.cpp).
+#pragma once
+
+#include "fault/plan.hpp"
+#include "sched/activation.hpp"
+#include "sched/adversary.hpp"
+#include "sim/run.hpp"
+#include "util/prng.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lumen::search {
+
+struct AdversaryPlan {
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kAsync;
+  sched::AdversaryKind adversary = sched::AdversaryKind::kUniform;
+  sched::ActivationKind activation = sched::ActivationKind::kRandomHalf;
+  std::size_t n = 16;
+  /// Run seed: fixes the initial configuration (gen::generate) and every
+  /// schedule/fault stream. Kept in [0, 2^63) so it survives the integer
+  /// JSON form ScenarioSpec uses for seed_base.
+  std::uint64_t seed = 1;
+  fault::FaultPlan fault;
+
+  friend bool operator==(const AdversaryPlan&, const AdversaryPlan&) = default;
+};
+
+/// The mutation domain: every operator clamps back into these ranges, so a
+/// hunt can never wander into sizes or fault rates the budget (or the spec
+/// validator) would reject.
+struct PlanBounds {
+  std::size_t n_min = 8;
+  std::size_t n_max = 48;
+  std::size_t crash_count_max = 6;
+  double crash_rate_max = 0.2;
+  double crash_time_max = 64.0;
+  std::size_t crash_times_max = 8;  ///< Length cap for explicit schedules.
+  double light_probability_max = 0.3;
+  double noise_sigma_max = 0.05;
+  double noise_dropout_max = 0.2;
+  /// When false (the default) mutation never changes plan.scheduler — a
+  /// hunt compares like with like (epoch counts mean different things under
+  /// different schedulers). The adversary/activation KINDS always mutate.
+  bool mutate_scheduler = false;
+};
+
+/// Clamps every searched field into `bounds` (and the [0, 1] probability
+/// domains). Idempotent; mutation/crossover call it on their results.
+void clamp_plan(AdversaryPlan& plan, const PlanBounds& bounds);
+
+/// A fresh random plan around `base` (scheduler kept from base unless
+/// bounds.mutate_scheduler): random kinds, size, seed, and each fault
+/// channel enabled with probability 1/2. Deterministic in rng state.
+[[nodiscard]] AdversaryPlan random_plan(const AdversaryPlan& base,
+                                        const PlanBounds& bounds,
+                                        util::Prng& rng);
+
+/// Applies 1-2 random point mutations (reseed/nudge, size step, kind flips,
+/// per-channel fault perturbations). Deterministic in (plan, bounds, rng).
+[[nodiscard]] AdversaryPlan mutate(const AdversaryPlan& plan,
+                                   const PlanBounds& bounds, util::Prng& rng);
+
+/// Uniform block crossover: kinds, size, seed and each fault channel are
+/// inherited from one parent each. Deterministic in (parents, rng).
+[[nodiscard]] AdversaryPlan crossover(const AdversaryPlan& a,
+                                      const AdversaryPlan& b, util::Prng& rng);
+
+/// Per-channel randomizers (the bandit strategy uses them to force a plan
+/// into an arm's fault emphasis). Each draws fresh in-bounds parameters
+/// that leave the channel active. Deterministic in rng state.
+void randomize_crash_channel(fault::FaultPlan& fault, const PlanBounds& bounds,
+                             util::Prng& rng);
+void randomize_light_channel(fault::FaultPlan& fault, const PlanBounds& bounds,
+                             util::Prng& rng);
+void randomize_noise_channel(fault::FaultPlan& fault, const PlanBounds& bounds,
+                             util::Prng& rng);
+
+/// Deterministic JSON form (fixed key order; the fault object always
+/// present). Round-trips byte-identically through adversary_plan_from_json,
+/// matching the ScenarioSpec guarantee.
+[[nodiscard]] util::JsonValue adversary_plan_to_json(const AdversaryPlan& plan);
+
+/// Parses a plan object. Missing keys keep defaults; unknown keys, type
+/// mismatches and out-of-domain values are errors named after the field.
+[[nodiscard]] std::optional<AdversaryPlan> adversary_plan_from_json(
+    const util::JsonValue& json, std::string* error = nullptr);
+
+/// Compact single-line serialization — the dedup/digest key for a plan.
+[[nodiscard]] std::string plan_fingerprint(const AdversaryPlan& plan);
+
+}  // namespace lumen::search

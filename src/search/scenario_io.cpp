@@ -1,0 +1,225 @@
+#include "search/scenario_io.hpp"
+
+#include "util/json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lumen::search {
+namespace {
+
+constexpr std::string_view kDocType = "lumen-adversarial-scenario";
+constexpr std::int64_t kDocVersion = 1;
+
+}  // namespace
+
+std::string adversarial_scenario_to_json(const AdversarialScenario& scenario) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("type", util::JsonValue::string(std::string(kDocType)));
+  doc.set("version", util::JsonValue::integer(kDocVersion));
+  doc.set("fitness", util::JsonValue::string(
+                         std::string(to_string(scenario.fitness))));
+  doc.set("score", util::JsonValue::number(scenario.score));
+  util::JsonValue expect = util::JsonValue::object();
+  expect.set("outcome",
+             util::JsonValue::string(
+                 std::string(sim::to_string(scenario.expected_outcome))));
+  expect.set("epochs", util::JsonValue::integer(
+                           static_cast<std::int64_t>(scenario.expected_epochs)));
+  expect.set("min_separation",
+             util::JsonValue::number(scenario.expected_min_separation));
+  doc.set("expect", std::move(expect));
+  if (!scenario.note.empty()) {
+    doc.set("note", util::JsonValue::string(scenario.note));
+  }
+  // scenario_to_json is the one deterministic writer for specs; parse its
+  // output back to a value so the embedded object and a standalone spec
+  // file are the same bytes modulo indentation.
+  const std::string spec_text = analysis::scenario_to_json(scenario.scenario);
+  std::optional<util::JsonValue> spec_value = util::json_parse(spec_text);
+  doc.set("scenario", spec_value.has_value() ? std::move(*spec_value)
+                                             : util::JsonValue::object());
+  return util::json_write(doc, 2) + "\n";
+}
+
+AdversarialScenarioParse adversarial_scenario_from_json(std::string_view text) {
+  AdversarialScenarioParse out;
+  std::string parse_error;
+  const std::optional<util::JsonValue> doc = util::json_parse(text, &parse_error);
+  if (!doc.has_value()) {
+    out.error = "invalid JSON: " + parse_error;
+    return out;
+  }
+  if (!doc->is_object()) {
+    out.error = "document must be a JSON object";
+    return out;
+  }
+  AdversarialScenario scenario;
+  bool saw_type = false;
+  bool saw_scenario = false;
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "type") {
+      if (!value.is_string() || value.as_string() != kDocType) {
+        out.error = "type must be \"" + std::string(kDocType) + "\"";
+        return out;
+      }
+      saw_type = true;
+    } else if (key == "version") {
+      if (!value.is_integer() || value.as_int() != kDocVersion) {
+        out.error = "version must be " + std::to_string(kDocVersion);
+        return out;
+      }
+    } else if (key == "fitness") {
+      if (!value.is_string()) {
+        out.error = "fitness must be a string";
+        return out;
+      }
+      const auto parsed = fitness_from_string(value.as_string());
+      if (!parsed.has_value()) {
+        out.error = "fitness: unknown kind '" + value.as_string() + "'";
+        return out;
+      }
+      scenario.fitness = *parsed;
+    } else if (key == "score") {
+      if (!value.is_number()) {
+        out.error = "score must be a number";
+        return out;
+      }
+      scenario.score = value.as_double();
+    } else if (key == "expect") {
+      if (!value.is_object()) {
+        out.error = "expect must be an object";
+        return out;
+      }
+      for (const auto& [ekey, evalue] : value.members()) {
+        if (ekey == "outcome") {
+          if (!evalue.is_string()) {
+            out.error = "expect.outcome must be a string";
+            return out;
+          }
+          const auto parsed = sim::outcome_from_string(evalue.as_string());
+          if (!parsed.has_value()) {
+            out.error =
+                "expect.outcome: unknown outcome '" + evalue.as_string() + "'";
+            return out;
+          }
+          scenario.expected_outcome = *parsed;
+        } else if (ekey == "epochs") {
+          if (!evalue.is_integer() || evalue.as_int() < 0) {
+            out.error = "expect.epochs must be a non-negative integer";
+            return out;
+          }
+          scenario.expected_epochs = static_cast<std::size_t>(evalue.as_int());
+        } else if (ekey == "min_separation") {
+          if (!evalue.is_number()) {
+            out.error = "expect.min_separation must be a number";
+            return out;
+          }
+          scenario.expected_min_separation = evalue.as_double();
+        } else {
+          out.error = "expect: unknown key '" + ekey + "'";
+          return out;
+        }
+      }
+    } else if (key == "note") {
+      if (!value.is_string()) {
+        out.error = "note must be a string";
+        return out;
+      }
+      scenario.note = value.as_string();
+    } else if (key == "scenario") {
+      const analysis::ScenarioParse parsed =
+          analysis::scenario_from_json(util::json_write(value, 2));
+      if (!parsed.spec.has_value()) {
+        out.error = "scenario: " + parsed.error;
+        return out;
+      }
+      scenario.scenario = *parsed.spec;
+      saw_scenario = true;
+    } else {
+      out.error = "unknown key '" + key + "'";
+      return out;
+    }
+  }
+  if (!saw_type) {
+    out.error = "missing required key 'type'";
+    return out;
+  }
+  if (!saw_scenario) {
+    out.error = "missing required key 'scenario'";
+    return out;
+  }
+  out.scenario = std::move(scenario);
+  return out;
+}
+
+bool save_adversarial_scenario(const AdversarialScenario& scenario,
+                               const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << adversarial_scenario_to_json(scenario);
+  return static_cast<bool>(file);
+}
+
+AdversarialScenarioParse load_adversarial_scenario(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    AdversarialScenarioParse out;
+    out.error = "cannot open " + path;
+    return out;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return adversarial_scenario_from_json(buffer.str());
+}
+
+AdversarialScenario make_regression_scenario(const HuntSpec& spec,
+                                             const Evaluation& minimized,
+                                             std::string note) {
+  AdversarialScenario scenario;
+  scenario.fitness = spec.fitness;
+  scenario.scenario = hunt_scenario(spec, minimized.plan);
+  scenario.score = minimized.score;
+  scenario.expected_outcome = minimized.metrics.outcome;
+  scenario.expected_epochs = minimized.metrics.epochs;
+  scenario.expected_min_separation = minimized.metrics.min_observed_separation;
+  scenario.note = std::move(note);
+  return scenario;
+}
+
+ReplayVerdict replay_adversarial_scenario(const AdversarialScenario& scenario,
+                                          util::ThreadPool* pool) {
+  ReplayVerdict verdict;
+  const std::size_t n =
+      scenario.scenario.ns.empty() ? 0 : scenario.scenario.ns.front();
+  const analysis::CampaignResult result =
+      analysis::run_campaign(scenario.scenario.campaign(n), pool);
+  if (result.runs.size() != 1) {
+    verdict.detail = result.errors.empty()
+                         ? "scenario produced no metrics"
+                         : "cell error: " + result.errors.front().detail;
+    return verdict;
+  }
+  verdict.ran = true;
+  verdict.metrics = result.runs.front();
+  verdict.score = fitness_score(scenario.fitness, verdict.metrics);
+  verdict.outcome_matches =
+      verdict.metrics.outcome == scenario.expected_outcome;
+  verdict.epochs_match = verdict.metrics.epochs == scenario.expected_epochs;
+  verdict.min_separation_matches = verdict.metrics.min_observed_separation ==
+                                   scenario.expected_min_separation;
+  if (!verdict.passed()) {
+    std::ostringstream detail;
+    detail << "expected outcome=" << sim::to_string(scenario.expected_outcome)
+           << " epochs=" << scenario.expected_epochs
+           << " min_separation=" << scenario.expected_min_separation
+           << "; replay got outcome="
+           << sim::to_string(verdict.metrics.outcome)
+           << " epochs=" << verdict.metrics.epochs
+           << " min_separation=" << verdict.metrics.min_observed_separation;
+    verdict.detail = detail.str();
+  }
+  return verdict;
+}
+
+}  // namespace lumen::search

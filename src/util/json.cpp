@@ -291,6 +291,13 @@ class Parser {
       fail("malformed number");
       return std::nullopt;
     }
+    // An overflowing literal (1e999) parses to infinity, which the
+    // deterministic writer cannot represent — rejecting it here keeps the
+    // byte-exact round-trip guarantee total over accepted documents.
+    if (!std::isfinite(d)) {
+      fail("number out of range");
+      return std::nullopt;
+    }
     return JsonValue::number(d);
   }
 

@@ -1,0 +1,72 @@
+// Replays every committed adversarial regression scenario under
+// scenarios/adversarial/ (the minimized worst-case plans the hunt found —
+// see DESIGN.md §16). Each document records the exact outcome class, epoch
+// count and audited closest approach its hunt evaluation observed; runs are
+// deterministic in their seed, so a replay that drifts by even one bit
+// means engine behavior changed and the regression fired.
+#include "search/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lumen::search {
+namespace {
+
+std::vector<std::string> committed_scenarios() {
+  std::vector<std::string> paths;
+  const std::filesystem::path dir = LUMEN_ADVERSARIAL_SCENARIO_DIR;
+  if (std::filesystem::is_directory(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".json") {
+        paths.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(AdversarialRegressions, AtLeastOneScenarioPerFitness) {
+  const auto paths = committed_scenarios();
+  ASSERT_GE(paths.size(), 3u)
+      << "expected committed scenarios under " << LUMEN_ADVERSARIAL_SCENARIO_DIR
+      << " (regenerate with `lumen-bench hunt --emit-dir`)";
+  std::set<FitnessKind> covered;
+  for (const auto& path : paths) {
+    const auto parsed = load_adversarial_scenario(path);
+    ASSERT_TRUE(parsed.scenario.has_value()) << path << ": " << parsed.error;
+    covered.insert(parsed.scenario->fitness);
+  }
+  EXPECT_EQ(covered.size(), all_fitness_kinds().size())
+      << "every fitness kind should have a committed worst case";
+}
+
+TEST(AdversarialRegressions, EveryCommittedScenarioRoundTripsByteIdentically) {
+  for (const auto& path : committed_scenarios()) {
+    const auto parsed = load_adversarial_scenario(path);
+    ASSERT_TRUE(parsed.scenario.has_value()) << path << ": " << parsed.error;
+    const std::string canonical =
+        adversarial_scenario_to_json(*parsed.scenario);
+    const auto reparsed = adversarial_scenario_from_json(canonical);
+    ASSERT_TRUE(reparsed.scenario.has_value()) << path;
+    EXPECT_EQ(adversarial_scenario_to_json(*reparsed.scenario), canonical)
+        << path;
+  }
+}
+
+TEST(AdversarialRegressions, EveryCommittedScenarioReplaysExactly) {
+  for (const auto& path : committed_scenarios()) {
+    const auto parsed = load_adversarial_scenario(path);
+    ASSERT_TRUE(parsed.scenario.has_value()) << path << ": " << parsed.error;
+    const ReplayVerdict verdict = replay_adversarial_scenario(*parsed.scenario);
+    EXPECT_TRUE(verdict.passed()) << path << ": " << verdict.detail;
+  }
+}
+
+}  // namespace
+}  // namespace lumen::search

@@ -1,0 +1,326 @@
+// The adversarial search subsystem (src/search): genome serialization and
+// operator determinism, hunt-trajectory bit-identity across repeats and
+// pool sizes (pinned by a golden digest), the bandit strategy, the
+// shrinking minimizer's contract, regression-scenario round-trip/replay,
+// and the E13 external registration hook.
+#include "search/experiment.hpp"
+#include "search/hunt.hpp"
+#include "search/minimize.hpp"
+#include "search/plan.hpp"
+#include "search/scenario_io.hpp"
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lumen::search {
+namespace {
+
+// A hunt small enough for a unit test but big enough to exercise every
+// stage: several (mu+lambda) generations plus a minimization pass.
+HuntSpec tiny_spec(FitnessKind fitness = FitnessKind::kEpochs,
+                   StrategyKind strategy = StrategyKind::kMuPlusLambda) {
+  HuntSpec spec;
+  spec.fitness = fitness;
+  spec.strategy = strategy;
+  spec.hunt_seed = 7;
+  spec.seed_plan.n = 8;
+  spec.bounds.n_min = 6;
+  spec.bounds.n_max = 10;
+  spec.budget = 10;
+  spec.population = 2;
+  spec.offspring = 4;
+  spec.batch = 4;
+  spec.minimize_budget = 8;
+  spec.max_cycles_per_robot = 96;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Genome serialization.
+
+TEST(AdversaryPlan, DefaultPlanRoundTripsByteIdentically) {
+  const AdversaryPlan plan;
+  const std::string text = util::json_write(adversary_plan_to_json(plan));
+  const auto doc = util::json_parse(text);
+  ASSERT_TRUE(doc.has_value());
+  std::string error;
+  const auto parsed = adversary_plan_from_json(*doc, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, plan);
+  EXPECT_EQ(util::json_write(adversary_plan_to_json(*parsed)), text);
+}
+
+TEST(AdversaryPlan, RandomPlansRoundTripByteIdentically) {
+  // The property the journal and the regression scenarios rely on: any plan
+  // the search can produce serializes to a canonical form that parses back
+  // to an equal plan and re-serializes to the same bytes.
+  util::Prng rng(11);
+  const PlanBounds bounds;
+  AdversaryPlan base;
+  for (int i = 0; i < 200; ++i) {
+    const AdversaryPlan plan = random_plan(base, bounds, rng);
+    const std::string text = util::json_write(adversary_plan_to_json(plan));
+    const auto doc = util::json_parse(text);
+    ASSERT_TRUE(doc.has_value()) << text;
+    std::string error;
+    const auto parsed = adversary_plan_from_json(*doc, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << "\n" << text;
+    EXPECT_EQ(*parsed, plan);
+    EXPECT_EQ(util::json_write(adversary_plan_to_json(*parsed)), text);
+  }
+}
+
+TEST(AdversaryPlan, UnknownKeysAndBadKindsAreFieldNamedErrors) {
+  const auto parse = [](std::string_view text) {
+    const auto doc = util::json_parse(text);
+    EXPECT_TRUE(doc.has_value());
+    std::string error;
+    const auto plan = adversary_plan_from_json(*doc, &error);
+    EXPECT_FALSE(plan.has_value());
+    return error;
+  };
+  EXPECT_NE(parse(R"({"bogus": 1})").find("plan: unknown key"),
+            std::string::npos);
+  EXPECT_NE(parse(R"({"scheduler": "warped"})").find("plan.scheduler"),
+            std::string::npos);
+  EXPECT_NE(parse(R"({"n": 0})").find("plan.n"), std::string::npos);
+  EXPECT_NE(parse(R"({"seed": -3})").find("plan.seed"), std::string::npos);
+  EXPECT_NE(parse(R"({"fault": {"light": {"probability": 2.0}}})")
+                .find("plan.fault"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Operators.
+
+TEST(AdversaryPlan, OperatorsAreDeterministicInTheRngState) {
+  const PlanBounds bounds;
+  AdversaryPlan base;
+  util::Prng rng_a(42);
+  util::Prng rng_b(42);
+  for (int i = 0; i < 50; ++i) {
+    const AdversaryPlan ra = random_plan(base, bounds, rng_a);
+    const AdversaryPlan rb = random_plan(base, bounds, rng_b);
+    ASSERT_EQ(ra, rb);
+    const AdversaryPlan ma = mutate(ra, bounds, rng_a);
+    const AdversaryPlan mb = mutate(rb, bounds, rng_b);
+    ASSERT_EQ(ma, mb);
+    ASSERT_EQ(crossover(ra, ma, rng_a), crossover(rb, mb, rng_b));
+  }
+}
+
+TEST(AdversaryPlan, MutationStaysInsideBounds) {
+  PlanBounds bounds;
+  bounds.n_min = 6;
+  bounds.n_max = 12;
+  bounds.crash_count_max = 2;
+  bounds.crash_rate_max = 0.1;
+  bounds.light_probability_max = 0.2;
+  bounds.noise_sigma_max = 0.01;
+  bounds.noise_dropout_max = 0.1;
+  util::Prng rng(5);
+  AdversaryPlan plan;
+  for (int i = 0; i < 500; ++i) {
+    plan = mutate(plan, bounds, rng);
+    ASSERT_GE(plan.n, bounds.n_min);
+    ASSERT_LE(plan.n, bounds.n_max);
+    ASSERT_LE(plan.fault.crash.count, bounds.crash_count_max);
+    ASSERT_LE(plan.fault.crash.rate, bounds.crash_rate_max);
+    ASSERT_LE(plan.fault.crash.times.size(), bounds.crash_times_max);
+    ASSERT_LE(plan.fault.light.probability, bounds.light_probability_max);
+    ASSERT_LE(plan.fault.noise.sigma, bounds.noise_sigma_max);
+    ASSERT_LE(plan.fault.noise.dropout, bounds.noise_dropout_max);
+    // The scheduler never mutates unless the bounds opt in.
+    ASSERT_EQ(plan.scheduler, sim::SchedulerKind::kAsync);
+  }
+}
+
+TEST(AdversaryPlan, ClampForcesTheFsyncActivationInvariant) {
+  const PlanBounds bounds;
+  AdversaryPlan plan;
+  plan.scheduler = sim::SchedulerKind::kFsync;
+  plan.activation = sched::ActivationKind::kRandomHalf;
+  clamp_plan(plan, bounds);
+  EXPECT_EQ(plan.activation, sched::ActivationKind::kAll);
+  plan.scheduler = sim::SchedulerKind::kAsync;
+  clamp_plan(plan, bounds);
+  EXPECT_NE(plan.activation, sched::ActivationKind::kAll);
+}
+
+// ---------------------------------------------------------------------------
+// Hunt determinism.
+
+TEST(Hunt, SameSeedSameTrajectory) {
+  const HuntSpec spec = tiny_spec();
+  const HuntResult a = run_hunt(spec);
+  const HuntResult b = run_hunt(spec);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    ASSERT_EQ(a.history[i].plan, b.history[i].plan) << "i=" << i;
+    ASSERT_EQ(a.history[i].score, b.history[i].score) << "i=" << i;
+  }
+  ASSERT_TRUE(a.best.has_value());
+  EXPECT_EQ(a.best->plan, b.best->plan);
+  EXPECT_EQ(hunt_digest(a), hunt_digest(b));
+}
+
+TEST(Hunt, DigestIsInvariantAcrossPoolSizes) {
+  // The whole trajectory — proposals, scores, winner, minimization — is
+  // assembled on the driver thread and index-addressed, so the worker count
+  // can only change wall-clock time, never a byte of the result.
+  const HuntSpec spec = tiny_spec();
+  util::ThreadPool serial{1};
+  util::ThreadPool wide{4};
+  const HuntResult a = run_hunt(spec, &serial);
+  const HuntResult b = run_hunt(spec, &wide);
+  EXPECT_EQ(hunt_digest(a), hunt_digest(b));
+}
+
+TEST(Hunt, GoldenDigestPinned) {
+  // Golden cross-platform constant, same philosophy as sim_golden_test: a
+  // change here means the search trajectory itself changed — bump
+  // deliberately, with a CHANGES.md note.
+  const HuntResult result = run_hunt(tiny_spec());
+  EXPECT_EQ(hunt_digest(result), 0x1afc49f41586d6d2ULL)
+      << std::hex << hunt_digest(result);
+}
+
+TEST(Hunt, BanditStrategyIsDeterministicAndFindsABest) {
+  const HuntSpec spec =
+      tiny_spec(FitnessKind::kOutcome, StrategyKind::kBandit);
+  const HuntResult a = run_hunt(spec);
+  const HuntResult b = run_hunt(spec);
+  EXPECT_EQ(hunt_digest(a), hunt_digest(b));
+  ASSERT_TRUE(a.best.has_value());
+  EXPECT_GE(a.evaluations, spec.budget / 2);
+}
+
+TEST(Hunt, ValidatorRejectsBadSpecs) {
+  HuntSpec spec = tiny_spec();
+  spec.budget = 0;
+  EXPECT_FALSE(validate_hunt_spec(spec).empty());
+  spec = tiny_spec();
+  spec.epsilon = 1.5;
+  EXPECT_FALSE(validate_hunt_spec(spec).empty());
+  spec = tiny_spec();
+  spec.keep_fraction = 0.0;
+  EXPECT_FALSE(validate_hunt_spec(spec).empty());
+  spec = tiny_spec();
+  spec.bounds.n_min = 12;
+  spec.bounds.n_max = 8;
+  EXPECT_FALSE(validate_hunt_spec(spec).empty());
+  spec = tiny_spec();
+  spec.algorithm = "no-such-algorithm";
+  EXPECT_FALSE(validate_hunt_spec(spec).empty());
+  EXPECT_TRUE(validate_hunt_spec(tiny_spec()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer.
+
+TEST(Minimize, PreservesTheOutcomeClassAndTheScoreFloor) {
+  const HuntSpec spec = tiny_spec(FitnessKind::kOutcome);
+  const HuntResult result = run_hunt(spec);
+  ASSERT_TRUE(result.best.has_value());
+  ASSERT_TRUE(result.minimized.has_value());
+  EXPECT_EQ(outcome_rank(result.minimized->metrics.outcome),
+            outcome_rank(result.best->metrics.outcome));
+  // keep_fraction defaults to 1: a shrink step is only accepted when it
+  // keeps the full score.
+  EXPECT_GE(result.minimized->score, result.best->score);
+  // The minimized plan is never larger than the winner.
+  EXPECT_LE(result.minimized->plan.n, result.best->plan.n);
+}
+
+TEST(Minimize, IsDeterministic) {
+  const HuntSpec spec = tiny_spec(FitnessKind::kMinSeparation);
+  const HuntResult a = run_hunt(spec);
+  const HuntResult b = run_hunt(spec);
+  ASSERT_TRUE(a.minimized.has_value());
+  ASSERT_TRUE(b.minimized.has_value());
+  EXPECT_EQ(a.minimized->plan, b.minimized->plan);
+  EXPECT_EQ(a.minimize_evals, b.minimize_evals);
+  EXPECT_EQ(a.minimize_accepted, b.minimize_accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Regression-scenario round-trip and replay.
+
+TEST(ScenarioIO, MinimizedWinnerRoundTripsAndReplaysExactly) {
+  const HuntSpec spec = tiny_spec();
+  const HuntResult result = run_hunt(spec);
+  ASSERT_TRUE(result.minimized.has_value());
+  const AdversarialScenario scenario =
+      make_regression_scenario(spec, *result.minimized, "unit test");
+  const std::string text = adversarial_scenario_to_json(scenario);
+  const auto parsed = adversarial_scenario_from_json(text);
+  ASSERT_TRUE(parsed.scenario.has_value()) << parsed.error;
+  EXPECT_EQ(adversarial_scenario_to_json(*parsed.scenario), text);
+
+  // A replayed scenario reproduces its hunt evaluation bit-for-bit: the
+  // oracle and the replay are the same hunt_scenario projection.
+  const ReplayVerdict verdict = replay_adversarial_scenario(*parsed.scenario);
+  EXPECT_TRUE(verdict.passed()) << verdict.detail;
+  EXPECT_EQ(verdict.score, result.minimized->score);
+}
+
+TEST(ScenarioIO, RejectsUnknownKeysAndWrongType) {
+  EXPECT_FALSE(
+      adversarial_scenario_from_json(R"({"type": "wrong"})").scenario
+          .has_value());
+  const HuntSpec spec = tiny_spec();
+  Evaluation fake;
+  fake.plan = spec.seed_plan;
+  const std::string text =
+      adversarial_scenario_to_json(make_regression_scenario(spec, fake));
+  const std::string corrupted =
+      text.substr(0, text.size() - 2) + ",\n  \"extra\": 1\n}";
+  const auto parsed = adversarial_scenario_from_json(corrupted);
+  EXPECT_FALSE(parsed.scenario.has_value());
+  EXPECT_NE(parsed.error.find("extra"), std::string::npos) << parsed.error;
+}
+
+// ---------------------------------------------------------------------------
+// E13 registration.
+
+TEST(Experiment, ExternalRegistrationIsIdempotent) {
+  register_hunt_experiment();
+  const std::size_t count =
+      analysis::ExperimentRegistry::instance().experiments().size();
+  register_hunt_experiment();
+  EXPECT_EQ(analysis::ExperimentRegistry::instance().experiments().size(),
+            count);
+  const auto* by_id = analysis::ExperimentRegistry::instance().find("E13");
+  const auto* by_name =
+      analysis::ExperimentRegistry::instance().find("adversarial-hunt");
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_EQ(by_id, by_name);
+}
+
+TEST(Experiment, TinySpecProducesOneRowPerFitness) {
+  register_hunt_experiment();
+  const auto* e = analysis::ExperimentRegistry::instance().find("E13");
+  ASSERT_NE(e, nullptr);
+  analysis::ScenarioSpec spec = e->defaults;
+  spec.ns = {8};
+  spec.runs = 2;
+  spec.run.max_cycles_per_robot = 96;
+  analysis::ExperimentContext ctx;
+  const auto result = e->run(spec, ctx);
+  EXPECT_EQ(result.rows.size(), all_fitness_kinds().size());
+  EXPECT_EQ(result.columns.size(), 8u);
+  // Only the structural claim is budget-independent; whether a toy-budget
+  // hunt beats the uniform tail is a property of the full-size run (the
+  // committed E13 tables), not of this smoke-scale shape test.
+  for (const auto& check : result.checks) {
+    if (check.label.find("found and minimized") != std::string::npos) {
+      EXPECT_TRUE(check.passed) << check.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumen::search
