@@ -22,6 +22,8 @@
 #include "analysis/journal.hpp"
 #include "analysis/reporter.hpp"
 #include "core/registry.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/worker.hpp"
 #include "geom/simd.hpp"
 #include "search/experiment.hpp"
 #include "search/scenario_io.hpp"
@@ -49,6 +51,17 @@ std::atomic<bool> g_stop{false};
 
 void request_stop(int /*signal*/) { g_stop.store(true); }
 
+// Resolved in main(): how the fabric coordinator re-invokes this binary as
+// `lumen-bench work` subprocesses.
+std::string g_self_exe = "lumen-bench";
+
+std::string self_executable(const char* argv0) {
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !exe.empty()) return exe.string();
+  return argv0 != nullptr ? argv0 : "lumen-bench";
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage: lumen-bench <command> [args]\n"
         "\n"
@@ -57,6 +70,8 @@ int usage(std::ostream& os, int code) {
         "  describe <experiment>    description + default spec JSON\n"
         "  run <experiment|all>     run one experiment (or every one)\n"
         "  hunt                     adversarial search for worst-case plans\n"
+        "  work <lease.json|->      execute one fabric lease (spawned by\n"
+        "                           run --workers; \"-\" reads stdin)\n"
         "\n"
         "run flags:\n"
         "  --spec=FILE        load a ScenarioSpec JSON (overrides defaults)\n"
@@ -81,6 +96,17 @@ int usage(std::ostream& os, int code) {
         "  --deadline-ms=T    per-run wall-clock watchdog (0 = off)\n"
         "  --max-attempts=K   retries per hung/throwing cell (default 1)\n"
         "  --retry-backoff-ms=B   base backoff between a cell's attempts\n"
+        "  --workers=K        distribute campaign cells across K crash-\n"
+        "                     tolerant `lumen-bench work` subprocesses via\n"
+        "                     fenced seed-range leases; the report is byte-\n"
+        "                     identical to an in-process run (0 = in-process)\n"
+        "  --fabric-dir=DIR   lease + shard-journal directory for --workers\n"
+        "  --lease-ttl-ms=T   reclaim a lease from a worker silent for T ms\n"
+        "  --straggler-factor=F  speculatively re-lease a shard with no\n"
+        "                     finished cell for F x the median cell time\n"
+        "  --chaos-kill=P     fault injection: SIGKILL a worker with\n"
+        "                     probability P after each finished cell\n"
+        "  --chaos-seed=S     deterministic chaos stream seed\n"
         "\n"
         "hunt flags:\n"
         "  --fitness=KIND     epochs|min-separation|outcome|all (default all)\n"
@@ -98,9 +124,11 @@ int usage(std::ostream& os, int code) {
         "  --journal/--resume checkpointing, exactly as for run\n"
         "  --smoke            shrink budgets to a seconds-long sanity hunt\n"
         "\n"
-        "SIGINT/SIGTERM drain in-flight cells, flush the journal and the\n"
-        "partial report, and exit with code 3; re-run with --resume to pick\n"
-        "up where the interrupted run left off.\n";
+        "SIGINT/SIGTERM drain in-flight cells (and, under --workers, the\n"
+        "worker fleet), flush the journal and the partial report, and exit\n"
+        "with code 3 — for `run` and `hunt` alike, whichever signal it was;\n"
+        "re-run with --resume to pick up where the interrupted run left\n"
+        "off.\n";
   return code;
 }
 
@@ -285,6 +313,13 @@ int cmd_run(const std::vector<std::string>& raw_args) {
   cli.flag("deadline-ms", "per-run wall-clock watchdog, 0 = off");
   cli.flag("max-attempts", "retries per hung/throwing cell");
   cli.flag("retry-backoff-ms", "base backoff between a cell's attempts");
+  cli.flag("workers", "fabric worker subprocesses (0 = in-process)", "0");
+  cli.flag("fabric-dir", "lease/shard-journal directory", ".lumen-fabric");
+  cli.flag("lease-ttl-ms", "reclaim a worker silent this long", "5000");
+  cli.flag("straggler-factor", "re-lease after F x median cell time, 0 = off",
+           "0");
+  cli.flag("chaos-kill", "P(SIGKILL a worker after each cell), 0 = off", "0");
+  cli.flag("chaos-seed", "deterministic chaos stream seed", "0");
 
   std::vector<const char*> argv = {"lumen-bench run"};
   for (const auto& a : raw_args) argv.push_back(a.c_str());
@@ -368,6 +403,51 @@ int cmd_run(const std::vector<std::string>& raw_args) {
   ctx.control.stop = &g_stop;
   std::signal(SIGINT, request_stop);
   std::signal(SIGTERM, request_stop);
+
+  // --workers: reroute every campaign through the multi-process fabric.
+  // The coordinator honors the same journal/resume/stop control, and its
+  // report is byte-identical to the in-process run by construction
+  // (DESIGN.md §17), so nothing downstream changes.
+  fabric::FabricConfig fabric_config;
+  if (cli.get_int("workers") < 0 || cli.get_int("lease-ttl-ms") < 0 ||
+      cli.get_int("chaos-seed") < 0) {
+    std::cerr << "error: --workers, --lease-ttl-ms and --chaos-seed must be "
+                 "non-negative\n";
+    return 2;
+  }
+  if (cli.get_double("chaos-kill") < 0.0 || cli.get_double("chaos-kill") > 1.0 ||
+      cli.get_double("straggler-factor") < 0.0) {
+    std::cerr << "error: --chaos-kill must be in [0, 1] and "
+                 "--straggler-factor non-negative\n";
+    return 2;
+  }
+  if (cli.get_int("workers") > 0) {
+    fabric_config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+    fabric_config.worker_argv = {g_self_exe, "work"};
+    fabric_config.dir = cli.get("fabric-dir");
+    fabric_config.lease_ttl_ms =
+        static_cast<std::uint64_t>(cli.get_int("lease-ttl-ms"));
+    fabric_config.straggler_factor = cli.get_double("straggler-factor");
+    fabric_config.chaos_kill_rate = cli.get_double("chaos-kill");
+    fabric_config.chaos_seed =
+        static_cast<std::uint64_t>(cli.get_int("chaos-seed"));
+    if (!journal_path.empty()) {
+      fabric_config.resume_paths.push_back(journal_path);
+    }
+    fabric_config.log = [](std::string_view line) {
+      std::cerr << line << "\n";
+    };
+    ctx.runner = [&ctx, fabric_config](const analysis::CampaignSpec& spec) {
+      // One subdirectory per campaign key: tokens restart per coordinator
+      // run, so distinct campaigns must never share shard-journal paths —
+      // while re-running the SAME campaign deliberately lands on its old
+      // shard journals and resumes from them.
+      fabric::FabricConfig config = fabric_config;
+      config.dir += "/";
+      config.dir += analysis::campaign_key(spec);
+      return fabric::run_fabric_campaign(spec, config, ctx.control).result;
+    };
+  }
 
   const bool smoke = cli.get_bool("smoke");
   bool all_passed = true;
@@ -709,7 +789,10 @@ int cmd_hunt(const std::vector<std::string>& raw_args) {
       out << "  emitted:   " << path << "\n";
     }
     out.flush();
-    if (result.stopped) {
+    // Either signal counts, even one landing after the last evaluation
+    // finished (result.stopped would still be false): the exit-code
+    // contract is 3 for ANY drained SIGINT/SIGTERM, same as `run`.
+    if (result.stopped || g_stop.load()) {
       interrupted = true;
       break;
     }
@@ -726,6 +809,24 @@ int cmd_hunt(const std::vector<std::string>& raw_args) {
   return all_found ? 0 : 1;
 }
 
+// `work`: the fabric worker half of run --workers. Reads one lease
+// (file path or "-" for stdin), runs the leased shard against its own
+// journal, and streams progress events on stdout for the coordinator.
+// Exit codes: 0 every leased cell journaled, 2 unusable lease/journal,
+// 3 drained on SIGINT/SIGTERM with cells left undone.
+int cmd_work(const std::vector<std::string>& args) {
+  if (args.size() != 1 || args[0] == "--help" || args[0] == "-h") {
+    std::cerr << "usage: lumen-bench work <lease.json|->\n";
+    return 2;
+  }
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+  fabric::WorkerOptions options;
+  options.lease_path = args[0];
+  options.stop = &g_stop;
+  return fabric::run_worker(options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -733,6 +834,7 @@ int main(int argc, char** argv) {
   // so lumen_analysis stays independent of lumen_search; idempotent, and
   // called before any thread exists.
   lumen::search::register_hunt_experiment();
+  g_self_exe = self_executable(argc > 0 ? argv[0] : nullptr);
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage(std::cerr, 2);
   const std::string& command = args[0];
@@ -744,6 +846,7 @@ int main(int argc, char** argv) {
   if (command == "describe") return cmd_describe(rest);
   if (command == "run") return cmd_run(rest);
   if (command == "hunt") return cmd_hunt(rest);
+  if (command == "work") return cmd_work(rest);
   std::cerr << "error: unknown command \"" << command << "\"\n\n";
   return usage(std::cerr, 2);
 }

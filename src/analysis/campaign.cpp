@@ -2,6 +2,7 @@
 
 #include "analysis/journal.hpp"
 #include "core/registry.hpp"
+#include "util/prng.hpp"
 #include "sim/look_arena.hpp"
 #include "sim/monitors.hpp"
 #include "sim/streaming_collision.hpp"
@@ -22,6 +23,7 @@ std::string_view to_string(CampaignErrorKind k) noexcept {
     case CampaignErrorKind::kDeadline: return "deadline";
     case CampaignErrorKind::kException: return "exception";
     case CampaignErrorKind::kCollisionAbort: return "collision-abort";
+    case CampaignErrorKind::kJournalMismatch: return "journal-mismatch";
   }
   return "?";
 }
@@ -30,7 +32,8 @@ std::optional<CampaignErrorKind> campaign_error_kind_from_string(
     std::string_view name) noexcept {
   for (const auto k :
        {CampaignErrorKind::kSpecInvalid, CampaignErrorKind::kDeadline,
-        CampaignErrorKind::kException, CampaignErrorKind::kCollisionAbort}) {
+        CampaignErrorKind::kException, CampaignErrorKind::kCollisionAbort,
+        CampaignErrorKind::kJournalMismatch}) {
     if (to_string(k) == name) return k;
   }
   return std::nullopt;
@@ -182,16 +185,27 @@ struct Cell {
 
 constexpr std::uint64_t kMaxBackoffMs = 5000;
 
-std::uint64_t backoff_ms(std::uint64_t base, std::size_t failed_attempts) {
+}  // namespace
+
+std::uint64_t retry_backoff_delay_ms(std::uint64_t base,
+                                     std::size_t failed_attempts,
+                                     std::uint64_t cell_seed) noexcept {
   if (base == 0) return 0;
   std::uint64_t delay = base;
   for (std::size_t i = 1; i < failed_attempts && delay < kMaxBackoffMs; ++i) {
     delay *= 2;
   }
-  return std::min(delay, kMaxBackoffMs);
+  delay = std::min(delay, kMaxBackoffMs);
+  // Half-jitter: the floor keeps the backoff meaningful, the hashed offset
+  // decorrelates cells that failed in the same instant. splitmix64 of
+  // (seed, attempt) keeps every cell's schedule deterministic.
+  std::uint64_t state =
+      cell_seed ^ (0x9e3779b97f4a7c15ULL *
+                   (static_cast<std::uint64_t>(failed_attempts) + 1));
+  const std::uint64_t r = util::splitmix64(state);
+  const std::uint64_t floor = delay / 2;
+  return floor + r % (delay - floor + 1);
 }
-
-}  // namespace
 
 CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
                             const CampaignControl& control) {
@@ -344,6 +358,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
           if (control.journal != nullptr) {
             control.journal->append_cell(spec, *cell.metrics);
           }
+          if (control.on_cell) control.on_cell(seed);
           return;
         }
         last_error = std::move(error);
@@ -361,7 +376,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
       if (!retriable) break;
       if (attempt < spec.max_attempts) {
         const std::uint64_t delay =
-            backoff_ms(spec.retry_backoff_ms, attempt);
+            retry_backoff_delay_ms(spec.retry_backoff_ms, attempt, seed);
         if (delay > 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         }
@@ -369,6 +384,7 @@ CampaignResult run_campaign(const CampaignSpec& spec, util::ThreadPool* pool,
     }
     cell.error = std::move(last_error);
     if (control.journal != nullptr) control.journal->append_error(spec, *cell.error);
+    if (control.on_cell) control.on_cell(seed);
   };
 
   // Slot-stable arenas: worker slot k always reuses arenas[k]; the extra

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -72,10 +73,12 @@ struct CampaignSpec {
 /// which may be environmental — allocation, file descriptors) are retried;
 /// kSpecInvalid and kCollisionAbort are deterministic verdicts.
 enum class CampaignErrorKind {
-  kSpecInvalid,     ///< The spec failed validation; campaign-wide, no cells ran.
-  kDeadline,        ///< Every attempt ended RunOutcome::kDeadlineExceeded.
-  kException,       ///< Every attempt threw; detail carries the last what().
-  kCollisionAbort,  ///< abort_on_collision and the audit found a collision.
+  kSpecInvalid,      ///< The spec failed validation; campaign-wide, no cells ran.
+  kDeadline,         ///< Every attempt ended RunOutcome::kDeadlineExceeded.
+  kException,        ///< Every attempt threw; detail carries the last what().
+  kCollisionAbort,   ///< abort_on_collision and the audit found a collision.
+  kJournalMismatch,  ///< A journal declared a different campaign key than the
+                     ///< spec (multi-writer guard); campaign-wide, no cells ran.
 };
 
 [[nodiscard]] std::string_view to_string(CampaignErrorKind k) noexcept;
@@ -102,6 +105,18 @@ struct CampaignError {
 /// run_campaign records the message as a kSpecInvalid CampaignError instead
 /// of running anything.
 [[nodiscard]] std::string validate_campaign_spec(const CampaignSpec& spec);
+
+/// The delay before retry attempt `failed_attempts + 1` of a cell: base
+/// doubled per failed attempt and capped at 5000 ms, then jittered
+/// DETERMINISTICALLY into [delay/2, delay] by a hash of (cell_seed,
+/// failed_attempts). Without the jitter every shard that fails at the same
+/// instant (a full disk, an exhausted file-descriptor table) retries at the
+/// same instant too — a thundering herd; with it, retry times decorrelate
+/// across cells while each cell's schedule stays a pure function of its
+/// seed. 0 when base is 0 (retry immediately).
+[[nodiscard]] std::uint64_t retry_backoff_delay_ms(
+    std::uint64_t base, std::size_t failed_attempts,
+    std::uint64_t cell_seed) noexcept;
 
 struct RunMetrics {
   std::uint64_t seed = 0;
@@ -151,6 +166,12 @@ struct CampaignControl {
   CampaignJournal* journal = nullptr;
   const JournalSnapshot* resume = nullptr;
   const std::atomic<bool>* stop = nullptr;
+  /// Progress hook: invoked once per cell that actually EXECUTED (not for
+  /// resumed cells), after its journal record landed, with the cell's seed.
+  /// Called from pool worker threads — the callee must be thread-safe. The
+  /// fabric worker uses this to stream per-cell progress to its
+  /// coordinator; it must not throw.
+  std::function<void(std::uint64_t seed)> on_cell;
 };
 
 struct CampaignResult {

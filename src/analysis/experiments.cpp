@@ -57,7 +57,7 @@ std::string strfmt(const char* fmt, ...) {
 CampaignResult run_checked(const CampaignSpec& campaign,
                            const ExperimentContext& ctx,
                            ExperimentResult& result) {
-  CampaignResult r = run_campaign(campaign, ctx.pool, ctx.control);
+  CampaignResult r = ctx.execute(campaign);
   if (!r.complete()) {
     result.partial = true;
     for (const auto& e : r.errors) {

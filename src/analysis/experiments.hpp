@@ -65,6 +65,20 @@ struct ExperimentContext {
   /// bit-identical for any pool size.
   util::ThreadPool* pool = nullptr;
   CampaignControl control;
+  /// When set, every campaign the experiment bodies run routes through this
+  /// instead of calling run_campaign directly — the hook must honor
+  /// `control` exactly as run_campaign does (journal, resume, stop, on_cell)
+  /// and return a result bit-identical to run_campaign's. lumen-bench uses
+  /// it to reroute campaigns through the multi-process fabric coordinator
+  /// (--workers); since results are execution-strategy-invariant, experiment
+  /// bodies cannot tell the difference.
+  std::function<CampaignResult(const CampaignSpec&)> runner;
+
+  /// The one way experiment bodies execute a campaign: the runner when one
+  /// is installed, plain run_campaign otherwise.
+  [[nodiscard]] CampaignResult execute(const CampaignSpec& spec) const {
+    return runner ? runner(spec) : run_campaign(spec, pool, control);
+  }
 
   [[nodiscard]] bool stop_requested() const noexcept {
     return control.stop != nullptr &&

@@ -484,9 +484,13 @@ JournalLoad load_journal(const std::string& path) {
       } else {
         return fail("cell has neither metrics nor error");
       }
-      snapshot.cells[key->as_string()]
-                    [static_cast<std::uint64_t>(seed->as_int())] =
-          std::move(cell);
+      // First-write-wins: a duplicate (key, seed) is the same deterministic
+      // cell recorded twice (resumed appends, fenced stale workers); drop
+      // it, count it.
+      const auto [it, inserted] =
+          snapshot.cells[key->as_string()].try_emplace(
+              static_cast<std::uint64_t>(seed->as_int()), std::move(cell));
+      if (!inserted) ++out.duplicate_cells;
     } else {
       return fail("unknown record type \"" + type->as_string() + "\"");
     }
@@ -500,6 +504,41 @@ JournalLoad load_journal(const std::string& path) {
   }
   out.snapshot = std::move(snapshot);
   return out;
+}
+
+std::string journal_key_mismatch(const JournalSnapshot& snapshot,
+                                 const CampaignSpec& spec) {
+  if (snapshot.signatures.empty()) return "";
+  const std::string key = campaign_key(spec);
+  if (snapshot.signatures.count(key)) return "";
+  std::string declared;
+  for (const auto& [k, sig] : snapshot.signatures) {
+    if (!declared.empty()) declared += ", ";
+    declared += k;
+  }
+  return "journal.key: campaign key mismatch: spec is " + key +
+         " but the journal declares " + declared +
+         " — refusing to merge a journal written for a different campaign";
+}
+
+std::size_t merge_snapshots(JournalSnapshot& dst, const JournalSnapshot& src,
+                            std::string* error) {
+  std::size_t duplicates = 0;
+  for (const auto& [key, signature] : src.signatures) {
+    const auto [it, inserted] = dst.signatures.emplace(key, signature);
+    if (!inserted && it->second != signature) {
+      set_error(error, "campaign key \"" + key +
+                           "\" declared with different signatures");
+      continue;
+    }
+    const auto cells = src.cells.find(key);
+    if (cells == src.cells.end()) continue;
+    auto& into = dst.cells[key];
+    for (const auto& [seed, cell] : cells->second) {
+      if (!into.try_emplace(seed, cell).second) ++duplicates;
+    }
+  }
+  return duplicates;
 }
 
 }  // namespace lumen::analysis

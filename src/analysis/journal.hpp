@@ -106,8 +106,11 @@ struct JournalCell {
 struct JournalSnapshot {
   /// key -> compact signature serialization (for stale-journal detection).
   std::map<std::string, std::string> signatures;
-  /// key -> seed -> cell. Later records for the same (key, seed) win, so a
-  /// journal appended to across several resumed attempts stays loadable.
+  /// key -> seed -> cell. The FIRST record for a (key, seed) wins — cells
+  /// are deterministic in (key, seed), so a later duplicate (a journal
+  /// appended to across several resumed attempts, or a fenced-off stale
+  /// fabric worker finishing a cell someone else already owns) carries the
+  /// same bytes; dropping it keeps the merge idempotent and countable.
   std::map<std::string, std::map<std::uint64_t, JournalCell>> cells;
 
   [[nodiscard]] std::size_t cell_count() const noexcept;
@@ -122,6 +125,11 @@ struct JournalLoad {
   /// A torn final line (the process died mid-append) is dropped, not an
   /// error; this counts it so drivers can report the lost record.
   std::size_t dropped_partial_lines = 0;
+  /// Later records for an already-seen (key, seed) — dropped first-write-
+  /// wins. Nonzero is normal for a journal appended to by several resumed
+  /// or fenced writers; drivers report the count instead of silently
+  /// merging.
+  std::size_t duplicate_cells = 0;
 };
 
 /// Loads a journal written by CampaignJournal. A missing/garbled header, a
@@ -129,5 +137,23 @@ struct JournalLoad {
 /// declarations of one key with different signatures are errors; a torn
 /// final line is tolerated (see JournalLoad::dropped_partial_lines).
 [[nodiscard]] JournalLoad load_journal(const std::string& path);
+
+/// Multi-writer guard: a journal written FOR one campaign (a fabric shard
+/// journal, a worker checkpoint) must declare exactly that campaign.
+/// Returns "" when the snapshot is empty or declares the spec's key;
+/// otherwise a field-naming message (journal.key: ...) listing what the
+/// journal declares — the caller records it as a kJournalMismatch
+/// CampaignError instead of silently merging nothing. NOT for shared
+/// multi-campaign journals (an experiment sweeping N keeps every
+/// campaign's cells in one file by design).
+[[nodiscard]] std::string journal_key_mismatch(const JournalSnapshot& snapshot,
+                                               const CampaignSpec& spec);
+
+/// Merges `src` into `dst`, first-write-wins per (key, seed); returns the
+/// number of duplicate cells dropped. Two declarations of one key with
+/// different signatures are an error (set via *error, merge of that key's
+/// cells is skipped) — the same rule load_journal enforces within one file.
+std::size_t merge_snapshots(JournalSnapshot& dst, const JournalSnapshot& src,
+                            std::string* error = nullptr);
 
 }  // namespace lumen::analysis

@@ -1,0 +1,168 @@
+#include "fabric/lease.hpp"
+
+#include "analysis/journal.hpp"
+#include "util/json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lumen::fabric {
+
+namespace {
+
+constexpr std::string_view kDocType = "lumen-lease";
+constexpr std::int64_t kDocVersion = 1;
+
+}  // namespace
+
+analysis::CampaignSpec lease_campaign(const Lease& lease) {
+  return lease.scenario.campaign(lease.scenario.ns.empty()
+                                     ? 1
+                                     : lease.scenario.ns[0]);
+}
+
+std::string lease_to_json(const Lease& lease) {
+  util::JsonValue obj = util::JsonValue::object();
+  obj.set("type", util::JsonValue::string(std::string(kDocType)));
+  obj.set("version", util::JsonValue::integer(kDocVersion));
+  obj.set("campaign_key", util::JsonValue::string(lease.campaign_key));
+  obj.set("token",
+          util::JsonValue::integer(static_cast<std::int64_t>(lease.token)));
+  obj.set("journal_path", util::JsonValue::string(lease.journal_path));
+  util::JsonValue resume = util::JsonValue::array();
+  for (const auto& path : lease.resume_paths) {
+    resume.push_back(util::JsonValue::string(path));
+  }
+  obj.set("resume_paths", std::move(resume));
+  obj.set("heartbeat_ms", util::JsonValue::integer(
+                              static_cast<std::int64_t>(lease.heartbeat_ms)));
+  // The scenario document embeds as an object — it round-trips byte-
+  // identically, so the lease inherits the spec's fidelity guarantee.
+  const auto scenario =
+      util::json_parse(analysis::scenario_to_json(lease.scenario));
+  obj.set("scenario", scenario ? *scenario : util::JsonValue::object());
+  return util::json_write(obj) + "\n";
+}
+
+LeaseParse lease_from_json(std::string_view text) {
+  LeaseParse out;
+  std::string parse_error;
+  const auto doc = util::json_parse(text, &parse_error);
+  if (!doc || !doc->is_object()) {
+    out.error = parse_error.empty() ? "lease must be a JSON object"
+                                    : parse_error;
+    return out;
+  }
+  Lease lease;
+  bool saw_type = false;
+  bool saw_scenario = false;
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "type") {
+      if (!value.is_string() || value.as_string() != kDocType) {
+        out.error = "type must be \"" + std::string(kDocType) + "\"";
+        return out;
+      }
+      saw_type = true;
+    } else if (key == "version") {
+      if (!value.is_integer() || value.as_int() != kDocVersion) {
+        out.error = "unsupported lease version";
+        return out;
+      }
+    } else if (key == "campaign_key") {
+      if (!value.is_string()) {
+        out.error = "campaign_key must be a string";
+        return out;
+      }
+      lease.campaign_key = value.as_string();
+    } else if (key == "token") {
+      if (!value.is_integer() || value.as_int() < 0) {
+        out.error = "token must be a non-negative integer";
+        return out;
+      }
+      lease.token = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "journal_path") {
+      if (!value.is_string()) {
+        out.error = "journal_path must be a string";
+        return out;
+      }
+      lease.journal_path = value.as_string();
+    } else if (key == "resume_paths") {
+      if (!value.is_array()) {
+        out.error = "resume_paths must be an array of strings";
+        return out;
+      }
+      for (const auto& item : value.items()) {
+        if (!item.is_string()) {
+          out.error = "resume_paths must contain only strings";
+          return out;
+        }
+        lease.resume_paths.push_back(item.as_string());
+      }
+    } else if (key == "heartbeat_ms") {
+      if (!value.is_integer() || value.as_int() < 1) {
+        out.error = "heartbeat_ms must be a positive integer";
+        return out;
+      }
+      lease.heartbeat_ms = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "scenario") {
+      auto parsed = analysis::scenario_from_json(util::json_write(value, 0));
+      if (!parsed.spec) {
+        out.error = "scenario: " + parsed.error;
+        return out;
+      }
+      lease.scenario = std::move(*parsed.spec);
+      saw_scenario = true;
+    } else {
+      out.error = "unknown key \"" + key + "\"";
+      return out;
+    }
+  }
+  if (!saw_type) {
+    out.error = "missing type";
+    return out;
+  }
+  if (!saw_scenario) {
+    out.error = "missing scenario";
+    return out;
+  }
+  if (lease.scenario.ns.size() != 1) {
+    out.error = "scenario.ns must contain exactly one sweep size";
+    return out;
+  }
+  if (lease.journal_path.empty()) {
+    out.error = "journal_path must be non-empty";
+    return out;
+  }
+  // The key doubles as a checksum: a lease pointing at the wrong scenario
+  // (stale file, manual edit) must not silently run the wrong cells under
+  // the right journal name.
+  const std::string expected = analysis::campaign_key(lease_campaign(lease));
+  if (lease.campaign_key != expected) {
+    out.error = "campaign_key: lease declares " + lease.campaign_key +
+                " but the embedded scenario hashes to " + expected;
+    return out;
+  }
+  out.lease = std::move(lease);
+  return out;
+}
+
+bool save_lease(const Lease& lease, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << lease_to_json(lease);
+  return static_cast<bool>(f.flush());
+}
+
+LeaseParse load_lease(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    LeaseParse out;
+    out.error = "cannot open " + path;
+    return out;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  return lease_from_json(text.str());
+}
+
+}  // namespace lumen::fabric

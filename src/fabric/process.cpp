@@ -1,0 +1,169 @@
+#include "fabric/process.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace lumen::fabric {
+
+ChildProcess::~ChildProcess() {
+  // A coordinator dropping a live child (error unwind) must not leak it:
+  // hard-kill and reap so the test suite never accumulates zombies.
+  if (running()) {
+    kill(SIGKILL);
+    try_reap();
+    while (running()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      try_reap();
+    }
+  }
+  close_pipe();
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      out_fd_(std::exchange(other.out_fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      exit_(std::move(other.exit_)) {
+  other.exit_.reset();
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    this->~ChildProcess();
+    new (this) ChildProcess(std::move(other));
+  }
+  return *this;
+}
+
+void ChildProcess::close_pipe() noexcept {
+  if (out_fd_ >= 0) {
+    ::close(out_fd_);
+    out_fd_ = -1;
+  }
+}
+
+std::optional<ChildProcess> ChildProcess::spawn(
+    const std::vector<std::string>& argv, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return std::nullopt;
+  };
+  if (argv.empty()) {
+    if (error != nullptr) *error = "spawn: empty argv";
+    return std::nullopt;
+  }
+  int fds[2];
+  if (::pipe(fds) != 0) return fail("pipe");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return fail("fork");
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, stdin -> /dev/null (a lease on stdin is the
+    // caller's business — the coordinator always passes a lease FILE).
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::close(devnull);
+    }
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    // exec failed: exit through _exit so no parent-inherited destructors
+    // (journals, pools) run twice. 127 = conventional "cannot exec".
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  // Non-blocking reads: the coordinator polls many children in one loop.
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+  ChildProcess child;
+  child.pid_ = pid;
+  child.out_fd_ = fds[0];
+  return child;
+}
+
+std::vector<std::string> ChildProcess::read_lines(bool* closed) {
+  std::vector<std::string> lines;
+  if (closed != nullptr) *closed = false;
+  if (out_fd_ < 0) {
+    if (closed != nullptr) *closed = true;
+    return lines;
+  }
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      close_pipe();
+      if (closed != nullptr) *closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    break;  // EAGAIN/EWOULDBLOCK: drained for now.
+  }
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    if (buffer_[i] == '\n') {
+      lines.emplace_back(buffer_, start, i - start);
+      start = i + 1;
+    }
+  }
+  buffer_.erase(0, start);
+  return lines;
+}
+
+void ChildProcess::try_reap() noexcept {
+  if (pid_ <= 0 || exit_.has_value()) return;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r != pid_) return;
+  ExitStatus exit;
+  if (WIFSIGNALED(status)) {
+    exit.signaled = true;
+    exit.code = WTERMSIG(status);
+  } else {
+    exit.code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  exit_ = exit;
+}
+
+void ChildProcess::kill(int signal) noexcept {
+  if (pid_ <= 0 || exit_.has_value()) return;
+  ::kill(pid_, signal);
+}
+
+void ChildProcess::reap_with_timeout(int grace_ms) noexcept {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(grace_ms);
+  bool killed = false;
+  while (running()) {
+    try_reap();
+    if (!running()) break;
+    if (!killed && clock::now() >= deadline) {
+      kill(SIGKILL);
+      killed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace lumen::fabric

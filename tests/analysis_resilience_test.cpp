@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -92,7 +94,8 @@ TEST(Journal, CampaignErrorJsonRoundTrip) {
 TEST(Journal, ErrorKindStringsRoundTrip) {
   for (const auto k :
        {CampaignErrorKind::kSpecInvalid, CampaignErrorKind::kDeadline,
-        CampaignErrorKind::kException, CampaignErrorKind::kCollisionAbort}) {
+        CampaignErrorKind::kException, CampaignErrorKind::kCollisionAbort,
+        CampaignErrorKind::kJournalMismatch}) {
     EXPECT_EQ(campaign_error_kind_from_string(to_string(k)), k);
   }
   EXPECT_FALSE(campaign_error_kind_from_string("bogus").has_value());
@@ -322,6 +325,147 @@ TEST(Journal, EmptyFileIsAnEmptySnapshot) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-writer merging: overlapping shards, duplicate cells, key guards.
+// These are the properties the fabric coordinator's journal merge rests on
+// (DESIGN.md §17): duplicates are detected, counted and dropped first-write-
+// wins, and a journal written for a DIFFERENT campaign is refused by name.
+
+TEST(Journal, LoaderCountsAndDropsDuplicateCells) {
+  const std::string path = temp_path("dup_cells.jsonl");
+  std::remove(path.c_str());
+  const CampaignSpec spec = small_spec();
+  RunMetrics first = sample_metrics();
+  first.seed = spec.seed_base;
+  RunMetrics dup = first;
+  dup.epochs = first.epochs + 99;  // A (hypothetical) conflicting rewrite.
+  {
+    CampaignJournal journal(path);
+    ASSERT_TRUE(journal.ok());
+    journal.append_cell(spec, first);
+    journal.append_cell(spec, dup);
+    journal.append_cell(spec, dup);
+  }
+  const auto loaded = load_journal(path);
+  ASSERT_TRUE(loaded.snapshot.has_value()) << loaded.error;
+  EXPECT_EQ(loaded.duplicate_cells, 2u);
+  EXPECT_EQ(loaded.snapshot->cell_count(), 1u);
+  const JournalCell* cell =
+      loaded.snapshot->find(campaign_key(spec), first.seed);
+  ASSERT_NE(cell, nullptr);
+  ASSERT_TRUE(cell->metrics.has_value());
+  EXPECT_EQ(cell->metrics->epochs, first.epochs) << "first write must win";
+}
+
+// Two shard journals whose seed ranges OVERLAP (shard 0/2 and the unsharded
+// whole) merge to exactly the whole campaign: the overlap is counted as
+// duplicates, dropped first-write-wins, and the merged snapshot resumes
+// byte-identically.
+TEST(Journal, OverlappingShardJournalsMergeFirstWriteWins) {
+  const CampaignSpec spec = small_spec();
+  const std::string key = campaign_key(spec);
+  const std::string uninterrupted =
+      campaign_result_to_json(run_campaign(spec));
+
+  const std::string whole_path = temp_path("overlap_whole.jsonl");
+  const std::string shard_path = temp_path("overlap_shard.jsonl");
+  std::remove(whole_path.c_str());
+  std::remove(shard_path.c_str());
+  {
+    CampaignJournal journal(whole_path);
+    CampaignControl control;
+    control.journal = &journal;
+    (void)run_campaign(spec, nullptr, control);
+  }
+  {
+    CampaignSpec half = spec;
+    half.shard_index = 0;
+    half.shard_count = 2;
+    CampaignJournal journal(shard_path);
+    CampaignControl control;
+    control.journal = &journal;
+    (void)run_campaign(half, nullptr, control);
+  }
+  auto whole = load_journal(whole_path);
+  auto shard = load_journal(shard_path);
+  ASSERT_TRUE(whole.snapshot.has_value()) << whole.error;
+  ASSERT_TRUE(shard.snapshot.has_value()) << shard.error;
+  ASSERT_EQ(whole.snapshot->cell_count(), 6u);
+  ASSERT_EQ(shard.snapshot->cell_count(), 3u);
+
+  JournalSnapshot merged = *shard.snapshot;
+  std::string merge_error;
+  const std::size_t dropped =
+      merge_snapshots(merged, *whole.snapshot, &merge_error);
+  EXPECT_EQ(merge_error, "");
+  EXPECT_EQ(dropped, 3u) << "the shard's 3 cells overlap the whole run";
+  EXPECT_EQ(merged.cell_count(), 6u);
+
+  CampaignControl control;
+  control.resume = &merged;
+  const auto resumed = run_campaign(spec, nullptr, control);
+  EXPECT_EQ(resumed.cells_resumed, 6u);
+  EXPECT_EQ(campaign_result_to_json(resumed), uninterrupted);
+}
+
+TEST(Journal, MergeRejectsConflictingSignaturesForOneKey) {
+  JournalSnapshot a;
+  a.signatures["k"] = R"({"n":12})";
+  a.cells["k"][1] = JournalCell{sample_metrics(), std::nullopt};
+  JournalSnapshot b;
+  b.signatures["k"] = R"({"n":13})";
+  b.cells["k"][2] = JournalCell{sample_metrics(), std::nullopt};
+  std::string error;
+  (void)merge_snapshots(a, b, &error);
+  EXPECT_NE(error.find("signature"), std::string::npos) << error;
+  EXPECT_EQ(a.cells["k"].count(2), 0u)
+      << "cells under a conflicting signature must not merge";
+}
+
+TEST(Journal, KeyMismatchGuardNamesTheField) {
+  const CampaignSpec spec = small_spec();
+  JournalSnapshot empty;
+  EXPECT_EQ(journal_key_mismatch(empty, spec), "");
+
+  JournalSnapshot matching;
+  matching.signatures[campaign_key(spec)] = "{}";
+  EXPECT_EQ(journal_key_mismatch(matching, spec), "");
+
+  JournalSnapshot foreign;
+  foreign.signatures["deadbeefdeadbeef"] = "{}";
+  const std::string message = journal_key_mismatch(foreign, spec);
+  EXPECT_NE(message.find("journal.key"), std::string::npos) << message;
+  EXPECT_NE(message.find(campaign_key(spec)), std::string::npos) << message;
+  EXPECT_NE(message.find("deadbeefdeadbeef"), std::string::npos) << message;
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff: deterministic, jittered, capped.
+
+TEST(Resilience, RetryBackoffIsDeterministicJitteredAndCapped) {
+  EXPECT_EQ(retry_backoff_delay_ms(0, 1, 42), 0u) << "base 0 = immediate";
+  // Pure function of (base, attempts, seed).
+  EXPECT_EQ(retry_backoff_delay_ms(100, 2, 7), retry_backoff_delay_ms(100, 2, 7));
+  // Jitter lands in [delay/2, delay] where delay doubles per failed attempt.
+  for (std::size_t attempts = 1; attempts <= 12; ++attempts) {
+    std::uint64_t delay = 100;
+    for (std::size_t i = 1; i < attempts && delay < 5000; ++i) delay *= 2;
+    delay = std::min<std::uint64_t>(delay, 5000);
+    for (const std::uint64_t seed : {1u, 2u, 99u}) {
+      const std::uint64_t d = retry_backoff_delay_ms(100, attempts, seed);
+      EXPECT_GE(d, delay / 2) << attempts << "/" << seed;
+      EXPECT_LE(d, delay) << attempts << "/" << seed;
+    }
+  }
+  // Different seeds decorrelate (not all equal for the same attempt count).
+  bool varied = false;
+  const std::uint64_t first = retry_backoff_delay_ms(1000, 3, 0);
+  for (std::uint64_t seed = 1; seed < 32 && !varied; ++seed) {
+    varied = retry_backoff_delay_ms(1000, 3, seed) != first;
+  }
+  EXPECT_TRUE(varied) << "jitter must actually depend on the seed";
+}
+
+// ---------------------------------------------------------------------------
 // Spec validation -> structured errors, never throws.
 
 TEST(Resilience, InvalidSpecsAreRecordedNotThrown) {
@@ -391,6 +535,45 @@ TEST(Resilience, StopFlagSkipsUntouchedCells) {
   EXPECT_TRUE(result.errors.empty());
   EXPECT_EQ(result.cells_skipped, 6u);
   EXPECT_FALSE(result.complete());
+}
+
+// The per-cell progress hook fires exactly once per EXECUTED cell (after
+// its journal record) and never for resumed cells — the contract the fabric
+// worker's event stream is built on.
+TEST(Resilience, OnCellFiresOncePerExecutedCellNotForResumed) {
+  const std::string path = temp_path("on_cell.jsonl");
+  std::remove(path.c_str());
+  const CampaignSpec spec = small_spec();
+  std::mutex mutex;
+  std::vector<std::uint64_t> seen;
+  {
+    CampaignJournal journal(path);
+    CampaignControl control;
+    control.journal = &journal;
+    control.on_cell = [&](std::uint64_t seed) {
+      std::lock_guard lock(mutex);
+      seen.push_back(seed);
+    };
+    (void)run_campaign(spec, nullptr, control);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 6u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], spec.seed_base + i);
+  }
+
+  const auto loaded = load_journal(path);
+  ASSERT_TRUE(loaded.snapshot.has_value()) << loaded.error;
+  seen.clear();
+  CampaignControl control;
+  control.resume = &*loaded.snapshot;
+  control.on_cell = [&](std::uint64_t seed) {
+    std::lock_guard lock(mutex);
+    seen.push_back(seed);
+  };
+  const auto resumed = run_campaign(spec, nullptr, control);
+  EXPECT_EQ(resumed.cells_resumed, 6u);
+  EXPECT_TRUE(seen.empty()) << "resumed cells must not announce";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,246 @@
+// The fabric chaos harness (DESIGN.md §17): end-to-end property tests over
+// the REAL lumen-bench binary (path injected as LUMEN_BENCH_BIN).
+//
+// The acceptance property: a campaign distributed over W worker processes —
+// with random SIGKILLs injected at cell boundaries, with the coordinator
+// itself killed and restarted, with SIGTERM drains — always produces a
+// final report BYTE-IDENTICAL to the single-process run. Crash tolerance
+// here is not "usually recovers": it is an exact-equality invariant.
+#include "fabric/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lumen::fabric {
+namespace {
+
+// A workload big enough that workers are genuinely mid-flight when chaos
+// hits (~50 cells across the experiment's campaigns), small enough that the
+// whole suite stays in tens of seconds.
+const char* kWorkload =
+    " run convergence --ns=24 --runs=16 --seed-base=500 --format=json ";
+
+std::string bench() { return LUMEN_BENCH_BIN; }
+
+// Per-process unique: ctest runs each TEST as its own process, possibly in
+// parallel, so sibling tests must never share scratch paths.
+std::string work_dir() {
+  static const std::string dir = [] {
+    std::string d = testing::TempDir() + "lumen_fabric_chaos." +
+                    std::to_string(::getpid());
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  return text.str();
+}
+
+std::size_t file_lines(const std::string& path) {
+  std::ifstream f(path);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(f, line)) ++lines;
+  return lines;
+}
+
+/// Runs `shell` to completion; returns its exit code (-1 on signal death).
+int run_shell(const std::string& shell) {
+  std::string error;
+  auto child = ChildProcess::spawn({"/bin/sh", "-c", shell}, &error);
+  if (!child) {
+    ADD_FAILURE() << "spawn: " << error;
+    return -1;
+  }
+  bool closed = false;
+  while (!closed) {
+    (void)child->read_lines(&closed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  child->reap_with_timeout(300000);
+  const auto& exit = child->exit_status();
+  return exit && !exit->signaled ? exit->code : -1;
+}
+
+/// The single-process run every distributed variant must reproduce: same
+/// report bytes AND same exit code (whether the experiment's claims pass at
+/// this off-default size is irrelevant to the identity property — but the
+/// fabric must not change the verdict either).
+struct GoldenRun {
+  int code = -1;
+  std::string report;
+};
+
+const GoldenRun& golden() {
+  static const GoldenRun run = [] {
+    GoldenRun g;
+    const std::string out = work_dir() + "/golden.json";
+    g.code = run_shell(bench() + kWorkload + "--out=" + out);
+    EXPECT_GE(g.code, 0) << "golden run died on a signal";
+    g.report = read_file(out);
+    return g;
+  }();
+  return run;
+}
+
+TEST(FabricChaos, WorkersMatchInProcessGoldenByteForByte) {
+  ASSERT_FALSE(golden().report.empty());
+  for (const int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const std::string tag = work_dir() + "/plain-w" + std::to_string(workers);
+    const int code = run_shell(bench() + kWorkload + "--workers=" +
+                               std::to_string(workers) + " --fabric-dir=" +
+                               tag + ".fabric --out=" + tag + ".json 2>" +
+                               tag + ".log");
+    EXPECT_EQ(code, golden().code) << read_file(tag + ".log");
+    EXPECT_EQ(read_file(tag + ".json"), golden().report);
+  }
+}
+
+// The headline chaos property: workers are SIGKILLed at random cell
+// boundaries (deterministic chaos stream per seed) and the merged report
+// still equals the golden bytes — fencing tokens plus first-write-wins
+// journal merging make every crash invisible to the result.
+TEST(FabricChaos, RandomWorkerSigkillsPreserveReportBytes) {
+  ASSERT_FALSE(golden().report.empty());
+  for (const int workers : {2, 4}) {
+    for (const int seed : {1, 2}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) + " chaos-seed=" +
+                   std::to_string(seed));
+      const std::string tag = work_dir() + "/chaos-w" +
+                              std::to_string(workers) + "-s" +
+                              std::to_string(seed);
+      const int code = run_shell(
+          bench() + kWorkload + "--workers=" + std::to_string(workers) +
+          " --chaos-kill=0.4 --chaos-seed=" + std::to_string(seed) +
+          " --fabric-dir=" + tag + ".fabric --out=" + tag + ".json 2>" +
+          tag + ".log");
+      const std::string log = read_file(tag + ".log");
+      EXPECT_EQ(code, golden().code) << log;
+      EXPECT_EQ(read_file(tag + ".json"), golden().report);
+      // ~50 cells at kill rate 0.4: the run must actually have been chaotic
+      // (kills injected, crashed workers re-leased) to prove anything.
+      EXPECT_NE(log.find("chaos kill"), std::string::npos);
+      EXPECT_NE(log.find("reclaiming"), std::string::npos);
+    }
+  }
+}
+
+// SIGTERM mid-campaign: the coordinator drains the fleet, flushes the
+// journal and a partial report, and exits 3; re-running with --resume
+// completes to the golden bytes without redoing finished cells.
+TEST(FabricChaos, SigtermDrainsToExitThreeAndResumesByteIdentically) {
+  ASSERT_FALSE(golden().report.empty());
+  const std::string dir = work_dir() + "/drain";
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/journal.jsonl";
+  const std::string partial = dir + "/partial.json";
+
+  std::string error;
+  // `exec` so the shell replaces itself: the spawned child must BE the
+  // coordinator (with a redirection, sh would otherwise keep a wrapper
+  // process alive and the SIGTERM would land on that instead).
+  auto child = ChildProcess::spawn(
+      {"/bin/sh", "-c",
+       "exec " + bench() + kWorkload + "--workers=2 --journal=" + journal +
+           " --fabric-dir=" + dir + "/fabric --out=" + partial +
+           " 2>" + dir + "/drain.log"},
+      &error);
+  ASSERT_TRUE(child.has_value()) << error;
+  // Wait for real progress (a couple of durable cell records) so the
+  // SIGTERM genuinely lands mid-campaign.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (file_lines(journal) < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(file_lines(journal), 4u) << "no progress before the deadline";
+  child->kill(SIGTERM);
+  child->reap_with_timeout(60000);
+  const auto& exit = child->exit_status();
+  ASSERT_TRUE(exit.has_value());
+  ASSERT_FALSE(exit->signaled) << "must drain, not die, on SIGTERM";
+  ASSERT_EQ(exit->code, 3) << read_file(dir + "/drain.log");
+
+  const std::size_t journaled = file_lines(journal);
+  const int code = run_shell(bench() + kWorkload + "--workers=2 --resume=" +
+                             journal + " --fabric-dir=" + dir +
+                             "/fabric --out=" + dir + "/resumed.json 2>" +
+                             dir + "/resume.log");
+  EXPECT_EQ(code, golden().code) << read_file(dir + "/resume.log");
+  EXPECT_EQ(read_file(dir + "/resumed.json"), golden().report);
+  EXPECT_GE(file_lines(journal), journaled)
+      << "resume appends to the canonical journal, never rewrites it";
+}
+
+// SIGKILL the COORDINATOR mid-campaign — the harshest crash. The shard
+// journals it leaves behind are the recovery state: re-running the same
+// command resumes from them (same campaign key -> same fabric directory)
+// and still produces the golden bytes.
+TEST(FabricChaos, CoordinatorSigkillResumesFromShardJournals) {
+  ASSERT_FALSE(golden().report.empty());
+  const std::string dir = work_dir() + "/coord-kill";
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/journal.jsonl";
+  const std::string command = bench() + kWorkload + "--workers=2 --journal=" +
+                              journal + " --fabric-dir=" + dir +
+                              "/fabric --out=" + dir + "/report.json";
+
+  std::string error;
+  // `exec` so the SIGKILL lands on the coordinator itself, not a shell
+  // wrapper kept alive by the redirection.
+  auto child = ChildProcess::spawn(
+      {"/bin/sh", "-c", "exec " + command + " 2>/dev/null"}, &error);
+  ASSERT_TRUE(child.has_value()) << error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  // Shard journals, not the canonical one, hold the mid-flight state: wait
+  // until at least one worker has durably finished a cell.
+  const auto shard_cells = [&] {
+    std::size_t cells = 0;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             dir + "/fabric", ec)) {
+      if (entry.path().extension() == ".jsonl") {
+        const std::size_t lines = file_lines(entry.path().string());
+        cells += lines > 2 ? lines - 2 : 0;
+      }
+    }
+    return cells;
+  };
+  while (shard_cells() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(shard_cells(), 2u) << "no shard progress before the deadline";
+  child->kill(SIGKILL);
+  child->reap_with_timeout(60000);
+  ASSERT_TRUE(child->exit_status().has_value());
+  EXPECT_TRUE(child->exit_status()->signaled);
+
+  // Orphaned workers notice the dead coordinator (EPIPE) and drain on
+  // their own; the rerun resumes from whatever they managed to journal.
+  const int code = run_shell(command + " 2>" + dir + "/rerun.log");
+  EXPECT_EQ(code, golden().code) << read_file(dir + "/rerun.log");
+  EXPECT_EQ(read_file(dir + "/report.json"), golden().report);
+}
+
+}  // namespace
+}  // namespace lumen::fabric
